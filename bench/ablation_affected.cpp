@@ -1,0 +1,71 @@
+// Affected-set precision ablation (DESIGN.md §3). The Q2 incremental
+// algorithm (Fig. 4b Steps 1-5) computes an over-approximation of the
+// comments whose score may change. This bench measures, per scale factor:
+//   * how many comments exist,
+//   * how many the affected-set rule selects per change set (candidates),
+//   * how many scores actually change,
+// i.e. the precision of the rule, plus the time spent computing the set —
+// quantifying how much reevaluation work the incremental algorithm saves
+// over the batch engine's "everything is affected".
+//
+// Usage: ablation_affected [--max-sf=64] [--seed=42]
+#include <cstdio>
+
+#include "datagen/generator.hpp"
+#include "queries/grb_state.hpp"
+#include "queries/q2.hpp"
+#include "support/flags.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  const grbsm::support::Flags flags(argc, argv);
+  const auto max_sf = static_cast<unsigned>(flags.get_int("max-sf", 64));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  std::printf("Q2 affected-set precision per change set (means over the stream)\n");
+  std::printf("exact = Fig. 4b Steps 1-5 (AC = 2 rule); coarse = every comment\n"
+              "liked by either endpoint of a changed friendship\n\n");
+  std::printf("%6s  %10s  %8s  %8s  %8s  %10s  %12s\n", "scale", "#comments",
+              "exact", "coarse", "changed", "precision", "set time [s]");
+
+  for (const auto& spec : datagen::scale_table()) {
+    if (spec.scale_factor > max_sf) break;
+    const auto ds =
+        datagen::generate(datagen::params_for_scale(spec.scale_factor, seed));
+    auto state = queries::GrbState::from_graph(ds.initial);
+    auto scores = queries::q2_batch_scores(state);
+    double total_exact = 0.0;
+    double total_coarse = 0.0;
+    double total_changed = 0.0;
+    double set_time = 0.0;
+    std::size_t steps = 0;
+    for (const auto& cs : ds.changes) {
+      const auto delta = state.apply_change_set(cs);
+      grbsm::support::Timer t;
+      const auto exact = queries::q2_affected_comments(state, delta);
+      set_time += t.elapsed_s();
+      const auto coarse =
+          queries::q2_affected_comments_coarse(state, delta);
+      const auto changed =
+          queries::q2_incremental_update(state, delta, scores);
+      total_exact += static_cast<double>(exact.size());
+      total_coarse += static_cast<double>(coarse.size());
+      total_changed += static_cast<double>(changed.nvals());
+      ++steps;
+    }
+    const double exact = total_exact / static_cast<double>(steps);
+    const double coarse = total_coarse / static_cast<double>(steps);
+    const double chg = total_changed / static_cast<double>(steps);
+    std::printf("%6u  %10llu  %8.1f  %8.1f  %8.1f  %9.0f%%  %12.6f\n",
+                spec.scale_factor,
+                static_cast<unsigned long long>(state.num_comments()), exact,
+                coarse, chg, exact > 0 ? 100.0 * chg / exact : 100.0,
+                set_time / static_cast<double>(steps));
+  }
+  std::printf(
+      "\nReading: the AC = 2 selection ('exact') rescores close to the truly\n"
+      "changed set, while the coarse endpoint rule drags in every comment a\n"
+      "well-connected user ever liked. The batch engine reevaluates the\n"
+      "whole #comments column every step instead.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Connected-components ablation (google-benchmark): FastSV over grb (what
+// the paper's Q2 uses via LAGraph), the plain BFS labelling, and the
+// union-find construction (what the future-work incremental engine builds),
+// on random graphs at the two density regimes that matter for Q2 fan sets:
+// sparse (few friendships among likers) and dense (community fan sets).
+#include <benchmark/benchmark.h>
+
+#include "lagraph/cc_bfs.hpp"
+#include "lagraph/cc_fastsv.hpp"
+#include "lagraph/incremental_cc.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::Bool;
+using grb::Index;
+
+struct Edges {
+  Index n;
+  std::vector<std::pair<Index, Index>> list;
+};
+
+Edges random_edges(Index n, std::size_t m, std::uint64_t seed) {
+  grbsm::support::Xoshiro256 rng(seed);
+  Edges e{n, {}};
+  e.list.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const Index a = rng.bounded(n);
+    const Index b = rng.bounded(n);
+    if (a != b) e.list.emplace_back(a, b);
+  }
+  return e;
+}
+
+grb::Matrix<Bool> to_matrix(const Edges& e) {
+  std::vector<grb::Tuple<Bool>> tuples;
+  tuples.reserve(2 * e.list.size());
+  for (const auto& [a, b] : e.list) {
+    tuples.push_back({a, b, 1});
+    tuples.push_back({b, a, 1});
+  }
+  return grb::Matrix<Bool>::build(e.n, e.n, std::move(tuples),
+                                  grb::LOr<Bool>{});
+}
+
+void BM_FastSV(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  const auto e = random_edges(n, static_cast<std::size_t>(state.range(1)), 1);
+  const auto adj = to_matrix(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagraph::cc_fastsv(adj));
+  }
+}
+BENCHMARK(BM_FastSV)
+    ->Args({1000, 500})
+    ->Args({1000, 4000})
+    ->Args({100000, 50000})
+    ->Args({100000, 400000});
+
+void BM_BfsCc(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  const auto e = random_edges(n, static_cast<std::size_t>(state.range(1)), 1);
+  const auto adj = to_matrix(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagraph::cc_bfs(adj));
+  }
+}
+BENCHMARK(BM_BfsCc)
+    ->Args({1000, 500})
+    ->Args({1000, 4000})
+    ->Args({100000, 50000})
+    ->Args({100000, 400000});
+
+void BM_UnionFindBuild(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  const auto e = random_edges(n, static_cast<std::size_t>(state.range(1)), 1);
+  for (auto _ : state) {
+    lagraph::IncrementalCC cc(n);
+    for (const auto& [a, b] : e.list) {
+      cc.add_edge(a, b);
+    }
+    benchmark::DoNotOptimize(cc.sum_squared_sizes());
+  }
+}
+BENCHMARK(BM_UnionFindBuild)
+    ->Args({1000, 500})
+    ->Args({1000, 4000})
+    ->Args({100000, 50000})
+    ->Args({100000, 400000});
+
+void BM_UnionFindIncrement(benchmark::State& state) {
+  // Steady-state: one edge insertion into an existing structure — the
+  // amortised cost the future-work engine pays per new friendship.
+  const auto n = static_cast<Index>(state.range(0));
+  const auto e = random_edges(n, static_cast<std::size_t>(n) * 2, 1);
+  lagraph::IncrementalCC cc(n);
+  for (const auto& [a, b] : e.list) {
+    cc.add_edge(a, b);
+  }
+  grbsm::support::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cc.add_edge(rng.bounded(n), rng.bounded(n)));
+  }
+}
+BENCHMARK(BM_UnionFindIncrement)->Arg(1000)->Arg(100000);
+
+}  // namespace

@@ -1,0 +1,152 @@
+// grb kernel microbenchmarks (google-benchmark): the operations on the Q1/Q2
+// hot paths, on social-shaped (heavy-tailed) sparse matrices, at 1 and 8
+// threads — quantifying the kernel-level scaling that drives the Fig. 5
+// thread-count differences.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "grb/grb.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::Bool;
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+using U64 = std::uint64_t;
+
+/// Heavy-tailed random boolean matrix: column popularity is Zipf-like, the
+/// same shape as the Likes / Friends matrices.
+Matrix<Bool> social_matrix(Index rows, Index cols, std::size_t nnz,
+                           std::uint64_t seed) {
+  grbsm::support::Xoshiro256 rng(seed);
+  grbsm::support::ZipfSampler zipf(cols, 0.8);
+  std::vector<grb::Tuple<Bool>> tuples;
+  tuples.reserve(nnz);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    tuples.push_back({rng.bounded(rows),
+                      static_cast<Index>(zipf.sample(rng) - 1), Bool{1}});
+  }
+  return Matrix<Bool>::build(rows, cols, std::move(tuples), grb::LOr<Bool>{});
+}
+
+constexpr Index kRows = 20000;
+constexpr Index kCols = 20000;
+constexpr std::size_t kNnz = 200000;
+
+void BM_Mxv(benchmark::State& state) {
+  grb::ThreadGuard guard(static_cast<int>(state.range(0)));
+  const auto a = social_matrix(kRows, kCols, kNnz, 1);
+  const auto u = Vector<U64>::dense(kCols, [](Index i) { return i % 7 + 1; });
+  for (auto _ : state) {
+    Vector<U64> w(kRows);
+    grb::mxv(w, grb::plus_second_semiring<U64>(), a, u);
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kNnz));
+}
+BENCHMARK(BM_Mxv)->Arg(1)->Arg(8);
+
+void BM_Mxm(benchmark::State& state) {
+  grb::ThreadGuard guard(static_cast<int>(state.range(0)));
+  // Likes' x NewFriends shape: tall-skinny right operand.
+  const auto likes = social_matrix(kRows, kCols, kNnz, 2);
+  const auto nf = social_matrix(kCols, 128, 256, 3);
+  for (auto _ : state) {
+    Matrix<U64> c(kRows, 128);
+    grb::mxm(c, grb::plus_times_semiring<U64>(), likes, nf);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Mxm)->Arg(1)->Arg(8);
+
+void BM_MxmSquare(benchmark::State& state) {
+  grb::ThreadGuard guard(static_cast<int>(state.range(0)));
+  const auto a = social_matrix(4000, 4000, 80000, 4);
+  for (auto _ : state) {
+    Matrix<U64> c(4000, 4000);
+    grb::mxm(c, grb::plus_times_semiring<U64>(), a, a);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MxmSquare)->Arg(1)->Arg(8);
+
+void BM_ReduceRows(benchmark::State& state) {
+  grb::ThreadGuard guard(static_cast<int>(state.range(0)));
+  const auto a = social_matrix(kRows, kCols, kNnz, 5);
+  for (auto _ : state) {
+    Vector<U64> w(kRows);
+    grb::reduce_rows(w, grb::plus_monoid<U64>(), a);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_ReduceRows)->Arg(1)->Arg(8);
+
+void BM_EwiseAddVectors(benchmark::State& state) {
+  grbsm::support::Xoshiro256 rng(6);
+  std::vector<Index> ia, ib;
+  std::vector<U64> va, vb;
+  for (Index i = 0; i < kRows; ++i) {
+    if (rng.chance(0.5)) {
+      ia.push_back(i);
+      va.push_back(i);
+    }
+    if (rng.chance(0.5)) {
+      ib.push_back(i);
+      vb.push_back(i * 2);
+    }
+  }
+  const auto u = Vector<U64>::build(kRows, ia, va);
+  const auto v = Vector<U64>::build(kRows, ib, vb);
+  for (auto _ : state) {
+    Vector<U64> w(kRows);
+    grb::eWiseAdd(w, grb::Plus<U64>{}, u, v);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_EwiseAddVectors);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto a = social_matrix(kRows, kCols, kNnz, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grb::transposed(a));
+  }
+}
+BENCHMARK(BM_Transpose);
+
+void BM_ExtractSubmatrix(benchmark::State& state) {
+  // The Q2 hot path: small induced subgraph out of a large Friends matrix.
+  const auto friends = social_matrix(kCols, kCols, kNnz, 8);
+  grbsm::support::Xoshiro256 rng(9);
+  std::vector<Index> idx;
+  const Index fan = static_cast<Index>(state.range(0));
+  for (Index k = 0; k < fan; ++k) {
+    idx.push_back(rng.bounded(kCols));
+  }
+  std::sort(idx.begin(), idx.end());
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grb::extract_submatrix(friends, idx, idx));
+  }
+}
+BENCHMARK(BM_ExtractSubmatrix)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_InsertTuplesBatch(benchmark::State& state) {
+  const auto base = social_matrix(kRows, kCols, kNnz, 10);
+  grbsm::support::Xoshiro256 rng(11);
+  std::vector<grb::Tuple<Bool>> batch;
+  for (int k = 0; k < 200; ++k) {
+    batch.push_back({rng.bounded(kRows), rng.bounded(kCols), Bool{1}});
+  }
+  for (auto _ : state) {
+    Matrix<Bool> m = base;
+    m.insert_tuples(batch, grb::LOr<Bool>{});
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_InsertTuplesBatch);
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Regenerates Fig. 5: execution times of Q1 and Q2 with respect to graph
+// size, for the "load and initial evaluation" and "update and reevaluation"
+// phases, across the paper's six tools (GraphBLAS Batch / Incremental,
+// each at 1 and 8 threads, NMF Batch / Incremental).
+//
+// With no flags this prints all four panels for scale factors 1..128 with
+// 3 repetitions (geometric mean, as in the paper) and then checks the
+// qualitative claims of Sec. IV ("shape checks"). Flags:
+//   --query=Q1|Q2|both     (default both)
+//   --phase=initial|update|both
+//   --min-sf=1 --max-sf=128   (any Table II power of two up to 1024)
+//   --repeats=3               (paper uses 5)
+//   --seed=42
+//   --csv                     (machine-readable output too)
+//   --extension               (include the GraphBLAS Incremental+CC tool)
+//   --verify                  (cross-check all tools' answers first)
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "datagen/generator.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "support/flags.hpp"
+
+namespace {
+
+struct Cell {
+  double initial = -1.0;
+  double update = -1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const grbsm::support::Flags flags(argc, argv);
+  const std::string query_sel = flags.get("query", "both");
+  const std::string phase_sel = flags.get("phase", "both");
+  const auto min_sf = static_cast<unsigned>(flags.get_int("min-sf", 1));
+  const auto max_sf = static_cast<unsigned>(flags.get_int("max-sf", 128));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const bool csv = flags.get_bool("csv", false);
+  const bool verify = flags.get_bool("verify", false);
+
+  std::vector<harness::ToolSpec> tools = harness::fig5_tools();
+  if (flags.get_bool("extension", false)) {
+    tools.push_back(harness::find_tool("grb-incremental-cc"));
+  }
+  std::vector<harness::Query> queries;
+  if (query_sel == "Q1" || query_sel == "both") {
+    queries.push_back(harness::Query::kQ1);
+  }
+  if (query_sel == "Q2" || query_sel == "both") {
+    queries.push_back(harness::Query::kQ2);
+  }
+
+  std::vector<unsigned> scales;
+  for (const auto& spec : datagen::scale_table()) {
+    if (spec.scale_factor >= min_sf && spec.scale_factor <= max_sf) {
+      scales.push_back(spec.scale_factor);
+    }
+  }
+
+  // results[query][tool label][scale]
+  std::map<std::string, std::map<std::string, std::map<unsigned, Cell>>> res;
+
+  for (const unsigned sf : scales) {
+    const auto ds = datagen::generate(datagen::params_for_scale(sf, seed));
+    std::fprintf(stderr, "[fig5] scale %u: %zu nodes, %zu edges, %zu change sets\n",
+                 sf, ds.initial.num_nodes(), ds.initial.num_edges(),
+                 ds.changes.size());
+    for (const harness::Query q : queries) {
+      if (verify) {
+        harness::verify_tools(tools, q, ds.initial, ds.changes);
+      }
+      for (const auto& tool : tools) {
+        const auto rep =
+            harness::run_repeated(tool, q, ds.initial, ds.changes, repeats);
+        auto& cell = res[harness::query_name(q)][tool.label][sf];
+        cell.initial = rep.load_and_initial.geomean;
+        cell.update = rep.update_and_reeval.geomean;
+      }
+    }
+  }
+
+  const auto emit = [&](const char* qname, bool update_phase) {
+    harness::SeriesTable table;
+    table.title = std::string(qname) +
+                  (update_phase ? " — update and reevaluation [s]"
+                                : " — load and initial evaluation [s]");
+    for (const unsigned sf : scales) table.rows.push_back(std::to_string(sf));
+    for (const auto& tool : tools) table.cols.push_back(tool.label);
+    table.cells.assign(scales.size(),
+                       std::vector<double>(tools.size(), -1.0));
+    for (std::size_t r = 0; r < scales.size(); ++r) {
+      for (std::size_t c = 0; c < tools.size(); ++c) {
+        const Cell& cell = res[qname][tools[c].label][scales[r]];
+        table.cells[r][c] = update_phase ? cell.update : cell.initial;
+      }
+    }
+    harness::print_table(std::cout, table);
+    if (csv) harness::print_csv(std::cout, table);
+  };
+
+  std::printf("Fig. 5: execution times, geometric mean of %d runs\n\n",
+              repeats);
+  for (const harness::Query q : queries) {
+    const char* qn = harness::query_name(q);
+    if (phase_sel == "initial" || phase_sel == "both") emit(qn, false);
+    if (phase_sel == "update" || phase_sel == "both") emit(qn, true);
+  }
+
+  // --- shape checks (Sec. IV qualitative claims) -----------------------------
+  if (scales.size() >= 2 && queries.size() == 2 && phase_sel == "both") {
+    const unsigned top = scales.back();
+    const auto t = [&](const char* q, const char* tool, bool upd) {
+      const Cell& c = res[q][tool][top];
+      return upd ? c.update : c.initial;
+    };
+    struct Check {
+      const char* what;
+      bool ok;
+    };
+    const std::vector<Check> checks = {
+        {"initial: GraphBLAS Batch is not slower than NMF Incremental (Q1)",
+         t("Q1", "GraphBLAS Batch", false) <=
+             t("Q1", "NMF Incremental", false)},
+        {"initial: NMF Incremental is the slowest tool (Q2)",
+         t("Q2", "NMF Incremental", false) >=
+             t("Q2", "GraphBLAS Batch", false) &&
+             t("Q2", "NMF Incremental", false) >=
+                 t("Q2", "NMF Batch", false)},
+        {"update: GraphBLAS Incremental beats GraphBLAS Batch (Q2)",
+         t("Q2", "GraphBLAS Incremental", true) <
+             t("Q2", "GraphBLAS Batch", true)},
+        {"update: NMF Incremental beats NMF Batch (Q2)",
+         t("Q2", "NMF Incremental", true) < t("Q2", "NMF Batch", true)},
+        {"update: 8 threads speed up GraphBLAS Batch (Q2)",
+         t("Q2", "GraphBLAS Batch (8 threads)", true) <
+             t("Q2", "GraphBLAS Batch", true)},
+        {"update: threading gains little for GraphBLAS Incremental (Q2)",
+         t("Q2", "GraphBLAS Incremental (8 threads)", true) >
+             0.5 * t("Q2", "GraphBLAS Incremental", true)},
+        {"update: GraphBLAS Incremental is competitive with NMF (Q1)",
+         t("Q1", "GraphBLAS Incremental", true) <
+             10.0 * t("Q1", "NMF Incremental", true)},
+    };
+    std::printf("Shape checks against the paper's Sec. IV (at scale %u):\n",
+                top);
+    int passed = 0;
+    for (const auto& c : checks) {
+      std::printf("  [%s] %s\n", c.ok ? "PASS" : "FAIL", c.what);
+      passed += c.ok ? 1 : 0;
+    }
+    std::printf("%d/%zu shape checks passed\n", passed, checks.size());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Regenerates Table II: graph sizes with respect to the scale factor.
+// Prints, for every scale factor, the paper's targets next to the sizes the
+// synthetic generator actually produces (the generator is calibrated to
+// these targets; deviations stem from duplicate rejection in heavy-tailed
+// edge sampling and are reported as percentages).
+//
+// Usage: table2_graph_sizes [--max-sf=1024] [--seed=42]
+#include <cstdio>
+
+#include "datagen/generator.hpp"
+#include "support/flags.hpp"
+
+int main(int argc, char** argv) {
+  const grbsm::support::Flags flags(argc, argv);
+  const auto max_sf =
+      static_cast<unsigned>(flags.get_int("max-sf", 1024));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  std::printf("Table II: graph sizes w.r.t. the scale factor\n");
+  std::printf("(paper target -> generated; deviation in %%)\n\n");
+  std::printf("%6s  %22s  %22s  %18s\n", "scale", "#nodes (paper->gen)",
+              "#edges (paper->gen)", "#inserts (p->g)");
+  for (const auto& spec : datagen::scale_table()) {
+    if (spec.scale_factor > max_sf) break;
+    const auto ds =
+        datagen::generate(datagen::params_for_scale(spec.scale_factor, seed));
+    const std::size_t nodes = ds.initial.num_nodes();
+    const std::size_t edges = ds.initial.num_edges();
+    const std::size_t inserts = datagen::inserted_elements(ds.changes);
+    const auto dev = [](std::size_t target, std::size_t actual) {
+      return 100.0 * (static_cast<double>(actual) -
+                      static_cast<double>(target)) /
+             static_cast<double>(target);
+    };
+    std::printf("%6u  %9zu->%-7zu %+5.1f%%  %9zu->%-7zu %+5.1f%%  %5zu->%-4zu %+5.1f%%\n",
+                spec.scale_factor, spec.nodes, nodes, dev(spec.nodes, nodes),
+                spec.edges, edges, dev(spec.edges, edges), spec.inserts,
+                inserts, dev(spec.inserts, inserts));
+  }
+  std::printf("\nEdge accounting follows the paper: friends + likes + "
+              "commented + rootPost.\nInsert accounting: a new comment = 3 "
+              "elements (node + rootPost + commented).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// TTC-protocol runner: mimics the 2018 Transformation Tool Contest benchmark
+// driver. Reads a dataset directory (see datagen_tool / model/io.hpp for the
+// format), runs one tool on one query through the phased protocol, and
+// emits the framework's semicolon-separated measurement records:
+//
+//   Tool;Query;ChangeSet;RunIndex;Phase;MetricName;MetricValue
+//
+// with phases Initialization, Load, Initial and Update<k>, and metrics
+// Time (ns) and Elements (answer string for the *Result* metric), following
+// the shape of the contest's benchmark.py output.
+//
+//   $ ./ttc_runner --dir=/tmp/sf4 --tool=grb-incremental --query=Q2
+//                  [--runs=1] [--threads=1]
+#include <cstdio>
+
+#include "grb/context.hpp"
+#include "harness/registry.hpp"
+#include "model/io.hpp"
+#include "support/flags.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+void record(const std::string& tool, const char* query, int run,
+            const std::string& phase, const char* metric,
+            const std::string& value) {
+  std::printf("%s;%s;%d;%s;%s;%s\n", tool.c_str(), query, run, phase.c_str(),
+              metric, value.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const grbsm::support::Flags flags(argc, argv);
+  const std::string dir = flags.get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: ttc_runner --dir=<dataset> [--tool=grb-incremental]"
+                 " [--query=Q1|Q2] [--runs=1] [--threads=1]\n");
+    return 2;
+  }
+  const std::string tool_key = flags.get("tool", "grb-incremental");
+  const std::string query_name = flags.get("query", "Q1");
+  const harness::Query query =
+      query_name == "Q2" ? harness::Query::kQ2 : harness::Query::kQ1;
+  const int runs = static_cast<int>(flags.get_int("runs", 1));
+  const int threads = static_cast<int>(flags.get_int("threads", 1));
+
+  const auto& tool = harness::find_tool(tool_key);
+  const grb::ThreadGuard guard(threads);
+
+  for (int run = 0; run < runs; ++run) {
+    grbsm::support::Timer timer;
+    auto engine = harness::make_engine(tool.key, query);
+    record(tool.label, query_name.c_str(), run, "Initialization", "Time",
+           std::to_string(timer.elapsed_ns()));
+
+    timer.restart();
+    const auto initial = sm::load_initial(dir);
+    const auto changes = sm::load_change_sets(dir);
+    engine->load(initial);
+    record(tool.label, query_name.c_str(), run, "Load", "Time",
+           std::to_string(timer.elapsed_ns()));
+
+    timer.restart();
+    const std::string answer = engine->initial();
+    record(tool.label, query_name.c_str(), run, "Initial", "Time",
+           std::to_string(timer.elapsed_ns()));
+    record(tool.label, query_name.c_str(), run, "Initial", "Elements",
+           answer);
+
+    for (std::size_t k = 0; k < changes.size(); ++k) {
+      const std::string phase = "Update" + std::to_string(k + 1);
+      timer.restart();
+      const std::string updated = engine->update(changes[k]);
+      record(tool.label, query_name.c_str(), run, phase, "Time",
+             std::to_string(timer.elapsed_ns()));
+      record(tool.label, query_name.c_str(), run, phase, "Elements", updated);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,365 @@
+#include "datagen/generator.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace datagen {
+
+using grbsm::support::Xoshiro256;
+using grbsm::support::ZipfSampler;
+using sm::NodeId;
+using sm::Timestamp;
+
+namespace {
+
+/// External ids: a single global counter keeps ids unique across entity
+/// classes (the contest files have per-class uniqueness; global is stricter).
+class IdSource {
+ public:
+  NodeId next() noexcept { return next_++; }
+
+ private:
+  NodeId next_ = 1;
+};
+
+/// Zipf-ranked pick from a prefix of a population: rank 1 = most likely.
+/// `order` maps rank-1-based positions to elements; we shuffle once so the
+/// popular elements are random, not the oldest.
+std::size_t zipf_pick(Xoshiro256& rng, const ZipfSampler& zipf,
+                      std::size_t population) {
+  // The sampler has a fixed domain; fold the draw into the population.
+  const std::size_t raw = zipf.sample(rng);
+  return (raw - 1) % population;
+}
+
+}  // namespace
+
+GeneratorParams params_for_scale(unsigned scale_factor, std::uint64_t seed) {
+  const ScaleSpec spec = spec_for(scale_factor);
+  GeneratorParams p;
+  p.seed = seed ^ (0x9e3779b97f4a7c15ULL * (scale_factor + 1));
+
+  // Composition: comments dominate (LDBC-like forum data). Each comment
+  // contributes 2 edges (commented + rootPost); the remaining edge budget is
+  // split between likes and friendships.
+  p.posts = std::max<std::size_t>(std::size_t{3}, spec.nodes * 4 / 100);
+  p.users = std::max<std::size_t>(std::size_t{5}, spec.nodes * 21 / 100);
+  p.comments = spec.nodes - p.posts - p.users;
+  const std::size_t structural = 2 * p.comments;
+  const std::size_t remaining =
+      spec.edges > structural ? spec.edges - structural : 0;
+  p.likes = remaining * 55 / 100;
+  p.friendships = remaining - p.likes;
+  p.insert_elements = spec.inserts;
+  p.change_sets = std::min<std::size_t>(10, std::max<std::size_t>(
+                                                1, spec.inserts / 8));
+  return p;
+}
+
+std::size_t inserted_elements(const std::vector<sm::ChangeSet>& sets) {
+  std::size_t n = 0;
+  for (const auto& cs : sets) {
+    for (const auto& op : cs.ops) {
+      n += std::holds_alternative<sm::AddComment>(op) ? 3 : 1;
+    }
+  }
+  return n;
+}
+
+Dataset generate(const GeneratorParams& params) {
+  if (params.users == 0 || params.posts == 0) {
+    throw grb::InvalidValue("generator needs at least one user and one post");
+  }
+  Dataset ds;
+  Xoshiro256 rng(params.seed);
+  IdSource ids;
+  Timestamp now = 1'300'000'000'000;  // ms epoch; grows monotonically
+
+  std::vector<NodeId> user_ids;
+  std::vector<NodeId> post_ids;
+  std::vector<NodeId> comment_ids;
+  user_ids.reserve(params.users);
+  post_ids.reserve(params.posts);
+  comment_ids.reserve(params.comments + 64);
+
+  const auto tick = [&]() {
+    now += 1 + static_cast<Timestamp>(rng.bounded(60'000));
+    return now;
+  };
+
+  // --- initial graph ---------------------------------------------------------
+  for (std::size_t i = 0; i < params.users; ++i) {
+    const NodeId id = ids.next();
+    ds.initial.add_user(id);
+    user_ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < params.posts; ++i) {
+    const NodeId id = ids.next();
+    ds.initial.add_post(id, tick());
+    post_ids.push_back(id);
+  }
+
+  // Zipf samplers sized to the *final* populations; picks are folded into
+  // the current population size so early draws remain valid.
+  const ZipfSampler user_zipf(std::max<std::size_t>(1, params.users),
+                              params.zipf_user_activity);
+  const ZipfSampler comment_zipf(std::max<std::size_t>(1, params.comments),
+                                 params.zipf_comment_popularity);
+  const ZipfSampler attach_zipf(
+      std::max<std::size_t>(1, params.comments + params.posts),
+      params.zipf_attachment);
+
+  // Comment forest: parents biased towards recent submissions (threads stay
+  // active for a while, then die off) — classic preferential-recency model.
+  for (std::size_t i = 0; i < params.comments; ++i) {
+    const NodeId id = ids.next();
+    const std::size_t population = post_ids.size() + comment_ids.size();
+    // Rank 1 = most recent submission.
+    const std::size_t back_offset = zipf_pick(rng, attach_zipf, population);
+    const std::size_t pick = population - 1 - back_offset;
+    bool parent_is_comment = pick >= post_ids.size();
+    NodeId parent = parent_is_comment ? comment_ids[pick - post_ids.size()]
+                                      : post_ids[pick];
+    ds.initial.add_comment(id, tick(), parent_is_comment, parent);
+    comment_ids.push_back(id);
+  }
+
+  // Likes: heavy-tailed comment popularity × heavy-tailed user activity.
+  std::size_t made = 0;
+  if (!comment_ids.empty()) {
+    for (std::size_t attempts = 0;
+         made < params.likes && attempts < params.likes * 20; ++attempts) {
+      const NodeId c =
+          comment_ids[zipf_pick(rng, comment_zipf, comment_ids.size())];
+      const NodeId u = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+      if (ds.initial.add_likes(u, c)) ++made;
+    }
+    if (made < params.likes) {
+      GRBSM_LOG_WARN << "datagen: like target " << params.likes
+                     << " not met (" << made
+                     << " placed) — duplicate rejection exhausted attempts";
+    }
+  }
+
+  // Friendships: heavy-tailed activity on both endpoints.
+  made = 0;
+  for (std::size_t attempts = 0;
+       made < params.friendships && attempts < params.friendships * 20;
+       ++attempts) {
+    const NodeId a = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+    const NodeId b = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+    if (a == b) continue;
+    if (ds.initial.add_friendship(a, b)) ++made;
+  }
+  if (made < params.friendships) {
+    GRBSM_LOG_WARN << "datagen: friendship target " << params.friendships
+                   << " not met (" << made << " placed)";
+  }
+
+  // --- change sequence -------------------------------------------------------
+  // Tracks the evolving edge population: a set for duplicate rejection plus
+  // a parallel vector for O(1) random sampling (removal ops pick victims
+  // uniformly from the live edges).
+  std::set<std::pair<NodeId, NodeId>> like_edges;
+  std::set<std::pair<NodeId, NodeId>> friend_edges;
+  std::vector<std::pair<NodeId, NodeId>> like_list;
+  std::vector<std::pair<NodeId, NodeId>> friend_list;
+  for (const auto& c : ds.initial.comments()) {
+    for (const auto u : c.likers) {
+      like_edges.emplace(ds.initial.user(u).id, c.id);
+      like_list.emplace_back(ds.initial.user(u).id, c.id);
+    }
+  }
+  for (const auto& u : ds.initial.users()) {
+    for (const auto f : u.friends) {
+      const NodeId a = u.id, b = ds.initial.user(f).id;
+      if (friend_edges.emplace(std::min(a, b), std::max(a, b)).second) {
+        friend_list.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+  const auto sample_and_remove =
+      [&rng](std::set<std::pair<NodeId, NodeId>>& edges,
+             std::vector<std::pair<NodeId, NodeId>>& list)
+      -> std::optional<std::pair<NodeId, NodeId>> {
+    if (list.empty()) return std::nullopt;
+    const std::size_t k = rng.bounded(list.size());
+    const auto edge = list[k];
+    list[k] = list.back();
+    list.pop_back();
+    edges.erase(edge);
+    return edge;
+  };
+
+  // Challenger entities: the runner-up comments/posts by the popularity
+  // proxy (creation order == Zipf rank by construction). A `frac_contention`
+  // share of update ops concentrates on these, so scores near the top move.
+  const std::size_t ncha =
+      std::max<std::size_t>(1, params.num_challengers);
+  std::vector<NodeId> challenger_comments;
+  std::vector<NodeId> challenger_posts;
+  std::unordered_map<NodeId, std::vector<NodeId>> challenger_likers;
+  {
+    // Rank posts by their actual initial Q1 score and comments by their fan
+    // size; the challengers are ranks 2..(1+ncha) — close enough to the top
+    // that a concentrated burst can overtake rank 1.
+    std::vector<std::pair<std::uint64_t, NodeId>> post_rank;
+    for (const auto& p : ds.initial.posts()) {
+      std::uint64_t score = 10 * p.comments.size();
+      for (const auto c : p.comments) {
+        score += ds.initial.comment(c).likers.size();
+      }
+      post_rank.emplace_back(score, p.id);
+    }
+    std::sort(post_rank.rbegin(), post_rank.rend());
+    // Order challengers by how little they need to overtake the entity one
+    // rank above them — concentrated bursts then actually flip the answer.
+    std::vector<std::pair<std::uint64_t, NodeId>> post_gap;
+    for (std::size_t k = 1; k <= ncha && k < post_rank.size(); ++k) {
+      post_gap.emplace_back(post_rank[k - 1].first - post_rank[k].first,
+                            post_rank[k].second);
+    }
+    std::sort(post_gap.begin(), post_gap.end());
+    for (const auto& [gap, id] : post_gap) challenger_posts.push_back(id);
+
+    std::vector<std::pair<std::size_t, NodeId>> comment_rank;
+    for (const auto& c : ds.initial.comments()) {
+      comment_rank.emplace_back(c.likers.size(), c.id);
+    }
+    std::sort(comment_rank.rbegin(), comment_rank.rend());
+    for (std::size_t k = 1; k <= ncha && k < comment_rank.size(); ++k) {
+      challenger_comments.push_back(comment_rank[k].second);
+    }
+  }
+  // Weighted pick: the tightest-gap challenger draws half the contention.
+  const auto pick_challenger = [&rng](const std::vector<NodeId>& xs) {
+    const double r = rng.uniform01();
+    std::size_t idx = r < 0.5 ? 0 : (r < 0.8 ? 1 : 2);
+    if (idx >= xs.size()) idx = 0;
+    return xs[idx];
+  };
+  for (const NodeId c : challenger_comments) {
+    auto& likers = challenger_likers[c];
+    const auto dense = ds.initial.find_comment(c);
+    if (dense) {
+      for (const auto u : ds.initial.comment(*dense).likers) {
+        likers.push_back(ds.initial.user(u).id);
+      }
+    }
+  }
+
+  const std::size_t sets =
+      std::max<std::size_t>(1, params.change_sets);
+  std::size_t elements_left = params.insert_elements;
+  const double fc = params.frac_comments;
+  const double fl = fc + params.frac_likes;
+  const double ff = fl + params.frac_friendships;
+
+  for (std::size_t s = 0; s < sets; ++s) {
+    sm::ChangeSet cs;
+    // Spread the element budget evenly over the remaining sets.
+    std::size_t budget =
+        std::max<std::size_t>(1, elements_left / (sets - s));
+    if (s + 1 == sets) budget = elements_left;  // last set takes the rest
+    std::size_t used = 0;
+    std::size_t guard = 0;
+    while (used < budget && ++guard < budget * 50 + 100) {
+      const double roll = rng.uniform01();
+      const bool contend = rng.chance(params.frac_contention);
+      if (roll < fc && used + 3 <= budget) {
+        const NodeId id = ids.next();
+        bool parent_is_comment;
+        NodeId parent;
+        if (contend && !challenger_posts.empty()) {
+          // Comment burst directly under a challenger post (+10 each).
+          // All post bursts go to the tightest-gap challenger: splitting
+          // them across runner-ups cancels out (each gains at the same rate
+          // as its rival above) and the answer never flips.
+          parent_is_comment = false;
+          parent = challenger_posts.front();
+        } else {
+          const std::size_t population = post_ids.size() + comment_ids.size();
+          const std::size_t back_offset =
+              zipf_pick(rng, attach_zipf, population);
+          const std::size_t pick = population - 1 - back_offset;
+          parent_is_comment = pick >= post_ids.size();
+          parent = parent_is_comment ? comment_ids[pick - post_ids.size()]
+                                     : post_ids[pick];
+        }
+        const NodeId submitter =
+            user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+        cs.ops.push_back(
+            sm::AddComment{id, tick(), parent_is_comment, parent, submitter});
+        comment_ids.push_back(id);
+        used += 3;
+      } else if (roll < fl && !comment_ids.empty()) {
+        if (rng.chance(params.frac_removals)) {
+          if (const auto victim = sample_and_remove(like_edges, like_list)) {
+            cs.ops.push_back(sm::RemoveLikes{victim->first, victim->second});
+            used += 1;
+          }
+          continue;
+        }
+        const NodeId c =
+            contend && !challenger_comments.empty()
+                ? pick_challenger(challenger_comments)
+                : comment_ids[zipf_pick(rng, comment_zipf,
+                                        comment_ids.size())];
+        const NodeId u = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+        if (like_edges.emplace(u, c).second) {
+          like_list.emplace_back(u, c);
+          cs.ops.push_back(sm::AddLikes{u, c});
+          const auto it = challenger_likers.find(c);
+          if (it != challenger_likers.end()) it->second.push_back(u);
+          used += 1;
+        }
+      } else if (roll < ff) {
+        if (rng.chance(params.frac_removals)) {
+          if (const auto victim =
+                  sample_and_remove(friend_edges, friend_list)) {
+            cs.ops.push_back(
+                sm::RemoveFriendship{victim->first, victim->second});
+            used += 1;
+          }
+          continue;
+        }
+        NodeId a, b;
+        if (contend && !challenger_comments.empty()) {
+          // Befriend two co-likers of a challenger comment — merges their
+          // components, so its Q2 score grows quadratically.
+          const NodeId c = pick_challenger(challenger_comments);
+          const auto& likers = challenger_likers[c];
+          if (likers.size() < 2) continue;
+          a = likers[rng.bounded(likers.size())];
+          b = likers[rng.bounded(likers.size())];
+        } else {
+          a = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+          b = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+        }
+        if (a != b &&
+            friend_edges.emplace(std::min(a, b), std::max(a, b)).second) {
+          friend_list.emplace_back(std::min(a, b), std::max(a, b));
+          cs.ops.push_back(sm::AddFriendship{a, b});
+          used += 1;
+        }
+      } else {
+        const NodeId id = ids.next();
+        cs.ops.push_back(sm::AddUser{id});
+        user_ids.push_back(id);
+        used += 1;
+      }
+    }
+    elements_left -= std::min(elements_left, used);
+    ds.changes.push_back(std::move(cs));
+    if (elements_left == 0) break;
+  }
+  return ds;
+}
+
+}  // namespace datagen

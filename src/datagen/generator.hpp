@@ -1,0 +1,79 @@
+// Synthetic dataset generator replacing the contest's fixed LDBC Datagen
+// exports (which are not redistributable here). Produces an initial social
+// graph plus an insert-only change sequence with:
+//   * Facebook-like heavy-tailed degree distributions (Zipf samplers for
+//     likes-per-comment, friends-per-user and comment-tree attachment),
+//   * sizes calibrated to the paper's Table II per scale factor,
+//   * full determinism from the seed (bit-identical datasets across runs).
+//
+// Element accounting matches the paper's example (Fig. 3b): inserting a
+// comment counts as 3 elements (node + rootPost edge + commented edge);
+// users, posts, likes and friendships count as 1 each.
+#pragma once
+
+#include <cstdint>
+
+#include "datagen/scale_table.hpp"
+#include "model/change.hpp"
+#include "model/social_graph.hpp"
+
+namespace datagen {
+
+struct GeneratorParams {
+  std::uint64_t seed = 42;
+
+  // Initial graph composition.
+  std::size_t users = 0;
+  std::size_t posts = 0;
+  std::size_t comments = 0;
+  std::size_t friendships = 0;
+  std::size_t likes = 0;
+
+  // Update phase.
+  std::size_t insert_elements = 0;  // weighted element target
+  std::size_t change_sets = 10;
+
+  // Distribution shape (Zipf exponents; higher = heavier head).
+  double zipf_comment_popularity = 0.85;  // which comments attract likes
+  double zipf_user_activity = 0.75;       // which users like / befriend
+  double zipf_attachment = 0.6;           // recency bias of comment parents
+
+  // Update mix (fractions of change *ops*; comments weigh 3 elements).
+  double frac_comments = 0.18;
+  double frac_likes = 0.38;
+  double frac_friendships = 0.34;
+  double frac_users = 0.10;
+
+  /// Fraction of update ops aimed at a small set of "challenger" entities
+  /// (runner-up posts/comments): like bursts onto hot comments, friendships
+  /// between co-likers (which merge components and move Q2 scores
+  /// quadratically), comment bursts under hot posts. This reproduces the
+  /// contest workloads' property that the top-3 answers actually change
+  /// during the update phase instead of being frozen by the Zipf head.
+  double frac_contention = 0.5;
+  std::size_t num_challengers = 3;
+
+  /// Fraction of edge ops (likes / friendships) that are *removals* of
+  /// existing edges — the paper's future-work item (1) ("more realistic
+  /// update operations, including both insertions and removals"). 0 keeps
+  /// the contest's insert-only workload.
+  double frac_removals = 0.0;
+};
+
+/// Derives a parameter set hitting the Table II targets for a scale factor.
+GeneratorParams params_for_scale(unsigned scale_factor,
+                                 std::uint64_t seed = 42);
+
+struct Dataset {
+  sm::SocialGraph initial;
+  std::vector<sm::ChangeSet> changes;
+};
+
+/// Generates the dataset. Deterministic in params (including seed).
+Dataset generate(const GeneratorParams& params);
+
+/// Weighted element count of a change sequence (Table II "#inserts" row):
+/// AddComment = 3, everything else = 1.
+std::size_t inserted_elements(const std::vector<sm::ChangeSet>& sets);
+
+}  // namespace datagen

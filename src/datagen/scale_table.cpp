@@ -1,0 +1,31 @@
+#include "datagen/scale_table.hpp"
+
+#include <string>
+
+#include "grb/types.hpp"
+
+namespace datagen {
+
+const std::vector<ScaleSpec>& scale_table() {
+  // Values transcribed from Table II. Approximate rows ("15k", "1.1M") use
+  // the obvious expansion; insert counts are exact.
+  static const std::vector<ScaleSpec> kTable = {
+      {1, 1274, 2533, 67},       {2, 2071, 4207, 120},
+      {4, 4350, 9118, 132},      {8, 7530, 18000, 104},
+      {16, 15000, 35000, 110},   {32, 30000, 71000, 117},
+      {64, 58000, 143000, 68},   {128, 115000, 287000, 86},
+      {256, 225000, 568000, 45}, {512, 443000, 1100000, 112},
+      {1024, 859000, 2300000, 74},
+  };
+  return kTable;
+}
+
+ScaleSpec spec_for(unsigned scale_factor) {
+  for (const ScaleSpec& s : scale_table()) {
+    if (s.scale_factor == scale_factor) return s;
+  }
+  throw grb::InvalidValue("no Table II row for scale factor " +
+                          std::to_string(scale_factor));
+}
+
+}  // namespace datagen

@@ -1,0 +1,29 @@
+// Table II of the paper: per-scale-factor dataset sizes of the contest's
+// LDBC-generated graphs. The generator is calibrated against these targets
+// so the benchmark sweeps the same x-axis as Fig. 5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace datagen {
+
+struct ScaleSpec {
+  unsigned scale_factor = 1;
+  /// Target #nodes (users + posts + comments), Table II row 1.
+  std::size_t nodes = 0;
+  /// Target #edges (friends + likes + commented + rootPost), row 2.
+  std::size_t edges = 0;
+  /// Target #inserted elements across the whole change sequence, row 3
+  /// (element accounting: a new comment = node + rootPost + commented = 3).
+  std::size_t inserts = 0;
+};
+
+/// The eleven rows of Table II (scale factors 1..1024).
+const std::vector<ScaleSpec>& scale_table();
+
+/// Spec for one scale factor; throws grb::InvalidValue if sf is not a row
+/// of Table II (powers of two, 1..1024).
+ScaleSpec spec_for(unsigned scale_factor);
+
+}  // namespace datagen

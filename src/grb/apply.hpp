@@ -1,0 +1,78 @@
+// GrB_apply: apply a unary operator to every stored entry. The paper uses
+// this for the "multiply by 10" step of Q1 (Alg. 1 line 7, Alg. 2 line 10).
+#pragma once
+
+#include <utility>
+
+#include "grb/detail/parallel.hpp"
+#include "grb/detail/write_back.hpp"
+#include "grb/matrix.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+template <typename W, typename UnaryOp, typename U>
+Vector<W> apply_compute(UnaryOp op, const Vector<U>& u) {
+  const auto ui = u.indices();
+  const auto uv = u.values();
+  std::vector<Index> oi(ui.begin(), ui.end());
+  std::vector<W> ov(uv.size());
+  parallel_for(static_cast<Index>(uv.size()), [&](Index k) {
+    ov[k] = static_cast<W>(op(uv[k]));
+  });
+  return Vector<W>::adopt_sorted(u.size(), std::move(oi), std::move(ov));
+}
+
+template <typename W, typename UnaryOp, typename U>
+Matrix<W> apply_compute(UnaryOp op, const Matrix<U>& a) {
+  std::vector<Index> rowptr(a.rowptr().begin(), a.rowptr().end());
+  std::vector<Index> colind(a.colind().begin(), a.colind().end());
+  const auto av = a.values();
+  std::vector<W> val(av.size());
+  parallel_for(static_cast<Index>(av.size()), [&](Index k) {
+    val[k] = static_cast<W>(op(av[k]));
+  });
+  return Matrix<W>::adopt_csr(a.nrows(), a.ncols(), std::move(rowptr),
+                              std::move(colind), std::move(val));
+}
+
+}  // namespace detail
+
+/// w = f(u).
+template <typename W, typename UnaryOp, typename U>
+void apply(Vector<W>& w, UnaryOp op, const Vector<U>& u) {
+  auto t = detail::apply_compute<W>(op, u);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// w<m> (+)= f(u).
+template <typename W, typename M, typename Accum, typename UnaryOp,
+          typename U>
+void apply(Vector<W>& w, const Vector<M>* mask, Accum accum, UnaryOp op,
+           const Vector<U>& u, const Descriptor& desc = {}) {
+  auto t = detail::apply_compute<W>(op, u);
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+/// C = f(A).
+template <typename W, typename UnaryOp, typename U>
+void apply(Matrix<W>& c, UnaryOp op, const Matrix<U>& a) {
+  auto t = detail::apply_compute<W>(op, a);
+  detail::write_back(c, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// C<M> (+)= f(A).
+template <typename W, typename M, typename Accum, typename UnaryOp,
+          typename U>
+void apply(Matrix<W>& c, const Matrix<M>* mask, Accum accum, UnaryOp op,
+           const Matrix<U>& a, const Descriptor& desc = {}) {
+  auto t = detail::apply_compute<W>(op, a);
+  detail::write_back(c, mask, accum, desc, std::move(t));
+}
+
+}  // namespace grb

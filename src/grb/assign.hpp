@@ -1,0 +1,98 @@
+// GrB_assign for vectors: masked whole-vector assign (w<m> = u — Alg. 2
+// line 14 computes Δscores⟨scores⁺⟩ = scores′ this way), subset assign
+// (w(I) = u), and scalar-to-subset assign (w(I) = s).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "grb/detail/write_back.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+/// w<m> (+)= u over the whole vector.
+template <typename W, typename M, typename Accum, typename U>
+void assign(Vector<W>& w, const Vector<M>* mask, Accum accum,
+            const Vector<U>& u, const Descriptor& desc = {}) {
+  Vector<U> t = u;
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+namespace detail {
+
+template <typename W, typename U>
+Vector<W> subset_to_full(Index size, std::span<const Index> idx,
+                         const Vector<U>& u) {
+  if (static_cast<Index>(idx.size()) != u.size()) {
+    throw DimensionMismatch("assign: |I| = " + std::to_string(idx.size()) +
+                            " vs |u| = " + std::to_string(u.size()));
+  }
+  std::vector<std::pair<Index, W>> buf;
+  const auto ui = u.indices();
+  const auto uv = u.values();
+  buf.reserve(ui.size());
+  for (std::size_t k = 0; k < ui.size(); ++k) {
+    const Index target = idx[ui[k]];
+    if (target >= size) {
+      throw IndexOutOfBounds("assign: target " + std::to_string(target));
+    }
+    buf.emplace_back(target, static_cast<W>(uv[k]));
+  }
+  std::sort(buf.begin(), buf.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t k = 1; k < buf.size(); ++k) {
+    if (buf[k].first == buf[k - 1].first) {
+      throw InvalidValue("assign: duplicate target index");
+    }
+  }
+  std::vector<Index> oi;
+  std::vector<W> ov;
+  oi.reserve(buf.size());
+  ov.reserve(buf.size());
+  for (const auto& [i, v] : buf) {
+    oi.push_back(i);
+    ov.push_back(v);
+  }
+  return Vector<W>::adopt_sorted(size, std::move(oi), std::move(ov));
+}
+
+}  // namespace detail
+
+/// w(I) (+)= u: u's k-th position maps to w's I[k]-th position. Positions of
+/// w outside I are never modified (GraphBLAS subset-assign semantics).
+template <typename W, typename Accum, typename U>
+void assign_subset(Vector<W>& w, Accum accum, std::span<const Index> idx,
+                   const Vector<U>& u) {
+  auto t = detail::subset_to_full<W>(w.size(), idx, u);
+  // Subset assign never deletes outside the target pattern, which matches
+  // accumulate-with-Second (new value wins) when no accumulator is given.
+  if constexpr (detail::has_accum_v<Accum>) {
+    detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), accum,
+                       Descriptor{}, std::move(t));
+  } else {
+    detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr),
+                       Second<W>{}, Descriptor{}, std::move(t));
+  }
+}
+
+/// w(I) = s for every index in I.
+template <typename W>
+void assign_scalar(Vector<W>& w, std::span<const Index> idx, const W& value) {
+  std::vector<Index> sorted(idx.begin(), idx.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (!sorted.empty() && sorted.back() >= w.size()) {
+    throw IndexOutOfBounds("assign_scalar: " + std::to_string(sorted.back()));
+  }
+  std::vector<W> vals(sorted.size(), value);
+  auto t = Vector<W>::adopt_sorted(w.size(), std::move(sorted),
+                                   std::move(vals));
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr),
+                     Second<W>{}, Descriptor{}, std::move(t));
+}
+
+}  // namespace grb

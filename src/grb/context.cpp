@@ -1,0 +1,26 @@
+#include "grb/context.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+
+namespace grb {
+
+namespace {
+std::atomic<int> g_threads{0};  // 0 = use OpenMP default
+}
+
+void set_threads(int n) noexcept { g_threads.store(n < 1 ? 0 : n); }
+
+int threads() noexcept {
+  const int n = g_threads.load();
+  return n == 0 ? omp_get_max_threads() : n;
+}
+
+ThreadGuard::ThreadGuard(int n) noexcept : saved_(g_threads.load()) {
+  set_threads(n);
+}
+
+ThreadGuard::~ThreadGuard() { g_threads.store(saved_); }
+
+}  // namespace grb

@@ -1,0 +1,28 @@
+// Global execution context: controls the number of OpenMP threads the grb
+// kernels may use (GxB_set(GxB_NTHREADS, ...) equivalent). The paper
+// compares 1-thread and 8-thread configurations of the same binary; the
+// benchmark harness flips this knob between runs.
+#pragma once
+
+namespace grb {
+
+/// Sets the maximum number of threads grb kernels use. Values < 1 reset to
+/// the OpenMP default (all hardware threads).
+void set_threads(int n) noexcept;
+
+/// Current thread cap (>= 1).
+int threads() noexcept;
+
+/// RAII guard: sets the thread cap for a scope and restores it after.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) noexcept;
+  ~ThreadGuard();
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace grb

@@ -1,0 +1,49 @@
+// OpenMP helpers shared by the grb kernels. All parallelism in the library
+// funnels through these so the global thread cap (grb::set_threads) is
+// respected everywhere, mirroring SuiteSparse's GxB_NTHREADS control.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+
+#include "grb/context.hpp"
+#include "grb/types.hpp"
+
+namespace grb::detail {
+
+/// Minimum amount of work before a kernel bothers spawning threads; tiny
+/// operands (the common case for incremental deltas) stay serial.
+inline constexpr Index kParallelThreshold = 4096;
+
+/// Runs f(i) for i in [0, n), in parallel when worthwhile. `work_hint`
+/// estimates total work (defaults to n) to decide serial vs parallel.
+template <typename F>
+void parallel_for(Index n, F&& f, Index work_hint = 0) {
+  const Index work = work_hint == 0 ? n : work_hint;
+  const int nthreads = grb::threads();
+  if (nthreads <= 1 || work < kParallelThreshold) {
+    for (Index i = 0; i < n; ++i) f(i);
+    return;
+  }
+  const auto ni = static_cast<std::int64_t>(n);
+#pragma omp parallel for num_threads(nthreads) schedule(dynamic, 256)
+  for (std::int64_t i = 0; i < ni; ++i) {
+    f(static_cast<Index>(i));
+  }
+}
+
+/// Parallel region with per-thread setup: g(thread_id, nthreads) is run once
+/// per thread; useful for kernels that keep per-thread scratch (SPAs).
+template <typename G>
+void parallel_region(G&& g) {
+  const int nthreads = grb::threads();
+  if (nthreads <= 1) {
+    g(0, 1);
+    return;
+  }
+#pragma omp parallel num_threads(nthreads)
+  { g(omp_get_thread_num(), omp_get_num_threads()); }
+}
+
+}  // namespace grb::detail

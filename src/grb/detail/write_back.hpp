@@ -1,0 +1,215 @@
+// The GraphBLAS output-merge step: every operation computes an intermediate
+// result T and then performs C<M> (+)= T under the descriptor's replace /
+// complement / structural flags. Centralising this here keeps each kernel a
+// pure "compute T" function and makes mask/accumulator semantics uniform —
+// and uniformly testable.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "grb/matrix.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb::detail {
+
+/// Sorted-index membership cursor over a mask vector. Queries must arrive in
+/// nondecreasing index order (write_back iterates merges in order).
+template <typename MT>
+class MaskCursor {
+ public:
+  MaskCursor(const Vector<MT>* mask, bool complement, bool structural)
+      : mask_(mask), complement_(complement), structural_(structural) {}
+
+  bool admits(Index i) {
+    // Complement of an absent mask admits nothing (GraphBLAS spec).
+    if (mask_ == nullptr) return !complement_;
+    const auto idx = mask_->indices();
+    const auto val = mask_->values();
+    while (pos_ < idx.size() && idx[pos_] < i) ++pos_;
+    const bool present =
+        pos_ < idx.size() && idx[pos_] == i &&
+        (structural_ || static_cast<bool>(val[pos_]));
+    return complement_ ? !present : present;
+  }
+
+ private:
+  const Vector<MT>* mask_;
+  bool complement_;
+  bool structural_;
+  std::size_t pos_ = 0;
+};
+
+template <typename Accum>
+inline constexpr bool has_accum_v = !std::is_same_v<Accum, NoAccum>;
+
+/// C<M> (+)= T for vectors. `t` is consumed.
+template <typename CT, typename MT, typename Accum, typename TT>
+void write_back(Vector<CT>& c, const Vector<MT>* mask, Accum accum,
+                const Descriptor& desc, Vector<TT>&& t) {
+  if (c.size() != t.size()) {
+    throw DimensionMismatch("output size " + std::to_string(c.size()) +
+                            " vs result size " + std::to_string(t.size()));
+  }
+  if (mask != nullptr && mask->size() != c.size()) {
+    throw DimensionMismatch("mask size " + std::to_string(mask->size()) +
+                            " vs output size " + std::to_string(c.size()));
+  }
+  // Fast path: unmasked, no accumulator — C = T.
+  if (mask == nullptr && !desc.complement_mask && !has_accum_v<Accum>) {
+    if constexpr (std::is_same_v<CT, TT>) {
+      c = std::move(t);
+      return;
+    }
+  }
+  MaskCursor<MT> in_mask(mask, desc.complement_mask, desc.structural_mask);
+
+  const auto ci = c.indices();
+  const auto cv = c.values();
+  const auto ti = t.indices();
+  const auto tv = t.values();
+  std::vector<Index> out_i;
+  std::vector<CT> out_v;
+  out_i.reserve(ci.size() + ti.size());
+  out_v.reserve(ci.size() + ti.size());
+
+  std::size_t a = 0, b = 0;
+  while (a < ci.size() || b < ti.size()) {
+    const bool take_c = b >= ti.size() || (a < ci.size() && ci[a] < ti[b]);
+    const bool take_both =
+        a < ci.size() && b < ti.size() && ci[a] == ti[b];
+    const Index i = take_both ? ci[a] : (take_c ? ci[a] : ti[b]);
+    const bool admitted = in_mask.admits(i);
+    if (take_both) {
+      if (admitted) {
+        if constexpr (has_accum_v<Accum>) {
+          out_i.push_back(i);
+          out_v.push_back(
+              static_cast<CT>(accum(cv[a], static_cast<CT>(tv[b]))));
+        } else {
+          out_i.push_back(i);
+          out_v.push_back(static_cast<CT>(tv[b]));
+        }
+      } else if (!desc.replace) {
+        out_i.push_back(i);
+        out_v.push_back(cv[a]);
+      }
+      ++a;
+      ++b;
+    } else if (take_c) {
+      if (admitted) {
+        if constexpr (has_accum_v<Accum>) {
+          // Accumulator keeps existing entries where T has none.
+          out_i.push_back(i);
+          out_v.push_back(cv[a]);
+        }
+        // No accum: in-mask position replaced by (empty) T => deleted.
+      } else if (!desc.replace) {
+        out_i.push_back(i);
+        out_v.push_back(cv[a]);
+      }
+      ++a;
+    } else {  // T only
+      if (admitted) {
+        out_i.push_back(i);
+        out_v.push_back(static_cast<CT>(tv[b]));
+      }
+      ++b;
+    }
+  }
+  c = Vector<CT>::adopt_sorted(c.size(), std::move(out_i), std::move(out_v));
+}
+
+/// C<M> (+)= T for matrices. Row-by-row application of the vector rules.
+template <typename CT, typename MT, typename Accum, typename TT>
+void write_back(Matrix<CT>& c, const Matrix<MT>* mask, Accum accum,
+                const Descriptor& desc, Matrix<TT>&& t) {
+  if (c.nrows() != t.nrows() || c.ncols() != t.ncols()) {
+    throw DimensionMismatch("matrix write_back: output " +
+                            std::to_string(c.nrows()) + "x" +
+                            std::to_string(c.ncols()) + " vs result " +
+                            std::to_string(t.nrows()) + "x" +
+                            std::to_string(t.ncols()));
+  }
+  if (mask != nullptr &&
+      (mask->nrows() != c.nrows() || mask->ncols() != c.ncols())) {
+    throw DimensionMismatch("matrix mask shape");
+  }
+  if (mask == nullptr && !desc.complement_mask && !has_accum_v<Accum>) {
+    if constexpr (std::is_same_v<CT, TT>) {
+      c = std::move(t);
+      return;
+    }
+  }
+  std::vector<Index> rowptr(c.nrows() + 1, 0);
+  std::vector<Index> colind;
+  std::vector<CT> val;
+  colind.reserve(c.nvals() + t.nvals());
+  val.reserve(c.nvals() + t.nvals());
+
+  for (Index i = 0; i < c.nrows(); ++i) {
+    const auto ci = c.row_cols(i);
+    const auto cv = c.row_vals(i);
+    const auto ti = t.row_cols(i);
+    const auto tv = t.row_vals(i);
+    const auto mi = mask != nullptr ? mask->row_cols(i) : std::span<const Index>{};
+    const auto mv = mask != nullptr ? mask->row_vals(i) : std::span<const MT>{};
+    std::size_t m = 0;
+    const auto admits = [&](Index j) {
+      if (mask == nullptr) return !desc.complement_mask;
+      while (m < mi.size() && mi[m] < j) ++m;
+      const bool present = m < mi.size() && mi[m] == j &&
+                           (desc.structural_mask || static_cast<bool>(mv[m]));
+      return desc.complement_mask ? !present : present;
+    };
+    std::size_t a = 0, b = 0;
+    while (a < ci.size() || b < ti.size()) {
+      const bool take_both =
+          a < ci.size() && b < ti.size() && ci[a] == ti[b];
+      const bool take_c =
+          !take_both && (b >= ti.size() || (a < ci.size() && ci[a] < ti[b]));
+      const Index j = take_both || take_c ? ci[a] : ti[b];
+      const bool admitted = admits(j);
+      if (take_both) {
+        if (admitted) {
+          if constexpr (has_accum_v<Accum>) {
+            colind.push_back(j);
+            val.push_back(
+                static_cast<CT>(accum(cv[a], static_cast<CT>(tv[b]))));
+          } else {
+            colind.push_back(j);
+            val.push_back(static_cast<CT>(tv[b]));
+          }
+        } else if (!desc.replace) {
+          colind.push_back(j);
+          val.push_back(cv[a]);
+        }
+        ++a;
+        ++b;
+      } else if (take_c) {
+        if (admitted) {
+          if constexpr (has_accum_v<Accum>) {
+            colind.push_back(j);
+            val.push_back(cv[a]);
+          }
+        } else if (!desc.replace) {
+          colind.push_back(j);
+          val.push_back(cv[a]);
+        }
+        ++a;
+      } else {
+        if (admitted) {
+          colind.push_back(j);
+          val.push_back(static_cast<CT>(tv[b]));
+        }
+        ++b;
+      }
+    }
+    rowptr[i + 1] = static_cast<Index>(colind.size());
+  }
+  c = Matrix<CT>::adopt_csr(c.nrows(), c.ncols(), std::move(rowptr),
+                            std::move(colind), std::move(val));
+}
+
+}  // namespace grb::detail

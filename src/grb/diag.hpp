@@ -1,0 +1,65 @@
+// Diagonal conversions (GxB_Matrix_diag / GxB_Vector_diag): build a
+// diagonal matrix from a vector, extract a (shifted) diagonal as a vector,
+// and the identity-matrix convenience builder.
+#pragma once
+
+#include <cstdlib>
+#include <utility>
+
+#include "grb/matrix.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+/// Square matrix with v on diagonal k (k > 0 above, k < 0 below). The
+/// dimension is v.size() + |k| so every vector entry has a position.
+template <typename T>
+[[nodiscard]] Matrix<T> diag_matrix(const Vector<T>& v, std::int64_t k = 0) {
+  const Index shift = static_cast<Index>(k < 0 ? -k : k);
+  const Index n = v.size() + shift;
+  std::vector<Tuple<T>> tuples;
+  const auto vi = v.indices();
+  const auto vv = v.values();
+  tuples.reserve(vi.size());
+  for (std::size_t s = 0; s < vi.size(); ++s) {
+    const Index row = k < 0 ? vi[s] + shift : vi[s];
+    const Index col = k < 0 ? vi[s] : vi[s] + shift;
+    tuples.push_back({row, col, vv[s]});
+  }
+  return Matrix<T>::build(n, n, std::move(tuples));
+}
+
+/// Diagonal k of a matrix as a vector (length = number of positions on that
+/// diagonal).
+template <typename T>
+[[nodiscard]] Vector<T> diag_vector(const Matrix<T>& a, std::int64_t k = 0) {
+  const Index row0 = k < 0 ? static_cast<Index>(-k) : 0;
+  const Index col0 = k > 0 ? static_cast<Index>(k) : 0;
+  if (row0 >= a.nrows() || col0 >= a.ncols()) {
+    return Vector<T>(0);
+  }
+  const Index len = std::min(a.nrows() - row0, a.ncols() - col0);
+  std::vector<Index> idx;
+  std::vector<T> vals;
+  for (Index s = 0; s < len; ++s) {
+    if (const auto val = a.at(row0 + s, col0 + s)) {
+      idx.push_back(s);
+      vals.push_back(*val);
+    }
+  }
+  return Vector<T>::adopt_sorted(len, std::move(idx), std::move(vals));
+}
+
+/// n × n identity matrix over T (ones on the main diagonal).
+template <typename T>
+[[nodiscard]] Matrix<T> identity_matrix(Index n) {
+  std::vector<Tuple<T>> tuples;
+  tuples.reserve(n);
+  for (Index i = 0; i < n; ++i) {
+    tuples.push_back({i, i, T{1}});
+  }
+  return Matrix<T>::build(n, n, std::move(tuples));
+}
+
+}  // namespace grb

@@ -1,0 +1,224 @@
+// Element-wise operations: eWiseAdd (pattern union, GrB_eWiseAdd) and
+// eWiseMult (pattern intersection, GrB_eWiseMult) for vectors and matrices.
+// Alg. 1 line 9 (scores = repliesScores ⊕ likesScores) and Alg. 2 line 13
+// (scores' = scores ⊕ scores+) are vector eWiseAdds.
+#pragma once
+
+#include <utility>
+
+#include "grb/detail/write_back.hpp"
+#include "grb/matrix.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+template <typename W, typename Op, typename U, typename V>
+Vector<W> ewise_add_compute(Op op, const Vector<U>& u, const Vector<V>& v) {
+  if (u.size() != v.size()) {
+    throw DimensionMismatch("eWiseAdd: " + std::to_string(u.size()) + " vs " +
+                            std::to_string(v.size()));
+  }
+  const auto ui = u.indices();
+  const auto uv = u.values();
+  const auto vi = v.indices();
+  const auto vv = v.values();
+  std::vector<Index> oi;
+  std::vector<W> ov;
+  oi.reserve(ui.size() + vi.size());
+  ov.reserve(ui.size() + vi.size());
+  std::size_t a = 0, b = 0;
+  while (a < ui.size() || b < vi.size()) {
+    if (b >= vi.size() || (a < ui.size() && ui[a] < vi[b])) {
+      oi.push_back(ui[a]);
+      ov.push_back(static_cast<W>(uv[a]));
+      ++a;
+    } else if (a >= ui.size() || vi[b] < ui[a]) {
+      oi.push_back(vi[b]);
+      ov.push_back(static_cast<W>(vv[b]));
+      ++b;
+    } else {
+      oi.push_back(ui[a]);
+      ov.push_back(static_cast<W>(op(static_cast<W>(uv[a]), static_cast<W>(vv[b]))));
+      ++a;
+      ++b;
+    }
+  }
+  return Vector<W>::adopt_sorted(u.size(), std::move(oi), std::move(ov));
+}
+
+template <typename W, typename Op, typename U, typename V>
+Vector<W> ewise_mult_compute(Op op, const Vector<U>& u, const Vector<V>& v) {
+  if (u.size() != v.size()) {
+    throw DimensionMismatch("eWiseMult: " + std::to_string(u.size()) +
+                            " vs " + std::to_string(v.size()));
+  }
+  const auto ui = u.indices();
+  const auto uv = u.values();
+  const auto vi = v.indices();
+  const auto vv = v.values();
+  std::vector<Index> oi;
+  std::vector<W> ov;
+  std::size_t a = 0, b = 0;
+  while (a < ui.size() && b < vi.size()) {
+    if (ui[a] < vi[b]) {
+      ++a;
+    } else if (vi[b] < ui[a]) {
+      ++b;
+    } else {
+      oi.push_back(ui[a]);
+      ov.push_back(static_cast<W>(op(static_cast<W>(uv[a]), static_cast<W>(vv[b]))));
+      ++a;
+      ++b;
+    }
+  }
+  return Vector<W>::adopt_sorted(u.size(), std::move(oi), std::move(ov));
+}
+
+template <typename W, typename Op, typename U, typename V>
+Matrix<W> ewise_add_compute(Op op, const Matrix<U>& a, const Matrix<V>& b) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols()) {
+    throw DimensionMismatch("matrix eWiseAdd shapes");
+  }
+  std::vector<Index> rowptr(a.nrows() + 1, 0);
+  std::vector<Index> colind;
+  std::vector<W> val;
+  colind.reserve(a.nvals() + b.nvals());
+  val.reserve(a.nvals() + b.nvals());
+  for (Index i = 0; i < a.nrows(); ++i) {
+    const auto ai = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    const auto bi = b.row_cols(i);
+    const auto bv = b.row_vals(i);
+    std::size_t x = 0, y = 0;
+    while (x < ai.size() || y < bi.size()) {
+      if (y >= bi.size() || (x < ai.size() && ai[x] < bi[y])) {
+        colind.push_back(ai[x]);
+        val.push_back(static_cast<W>(av[x]));
+        ++x;
+      } else if (x >= ai.size() || bi[y] < ai[x]) {
+        colind.push_back(bi[y]);
+        val.push_back(static_cast<W>(bv[y]));
+        ++y;
+      } else {
+        colind.push_back(ai[x]);
+        val.push_back(static_cast<W>(op(static_cast<W>(av[x]), static_cast<W>(bv[y]))));
+        ++x;
+        ++y;
+      }
+    }
+    rowptr[i + 1] = static_cast<Index>(colind.size());
+  }
+  return Matrix<W>::adopt_csr(a.nrows(), a.ncols(), std::move(rowptr),
+                              std::move(colind), std::move(val));
+}
+
+template <typename W, typename Op, typename U, typename V>
+Matrix<W> ewise_mult_compute(Op op, const Matrix<U>& a, const Matrix<V>& b) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols()) {
+    throw DimensionMismatch("matrix eWiseMult shapes");
+  }
+  std::vector<Index> rowptr(a.nrows() + 1, 0);
+  std::vector<Index> colind;
+  std::vector<W> val;
+  for (Index i = 0; i < a.nrows(); ++i) {
+    const auto ai = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    const auto bi = b.row_cols(i);
+    const auto bv = b.row_vals(i);
+    std::size_t x = 0, y = 0;
+    while (x < ai.size() && y < bi.size()) {
+      if (ai[x] < bi[y]) {
+        ++x;
+      } else if (bi[y] < ai[x]) {
+        ++y;
+      } else {
+        colind.push_back(ai[x]);
+        val.push_back(static_cast<W>(op(static_cast<W>(av[x]), static_cast<W>(bv[y]))));
+        ++x;
+        ++y;
+      }
+    }
+    rowptr[i + 1] = static_cast<Index>(colind.size());
+  }
+  return Matrix<W>::adopt_csr(a.nrows(), a.ncols(), std::move(rowptr),
+                              std::move(colind), std::move(val));
+}
+
+}  // namespace detail
+
+/// w = u ⊕ v (set union on patterns).
+template <typename W, typename Op, typename U, typename V>
+void eWiseAdd(Vector<W>& w, Op op, const Vector<U>& u, const Vector<V>& v) {
+  auto t = detail::ewise_add_compute<W>(op, u, v);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// w<m> (+)= u ⊕ v.
+template <typename W, typename M, typename Accum, typename Op, typename U,
+          typename V>
+void eWiseAdd(Vector<W>& w, const Vector<M>* mask, Accum accum, Op op,
+              const Vector<U>& u, const Vector<V>& v,
+              const Descriptor& desc = {}) {
+  auto t = detail::ewise_add_compute<W>(op, u, v);
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+/// w = u ⊗ v (set intersection on patterns).
+template <typename W, typename Op, typename U, typename V>
+void eWiseMult(Vector<W>& w, Op op, const Vector<U>& u, const Vector<V>& v) {
+  auto t = detail::ewise_mult_compute<W>(op, u, v);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// w<m> (+)= u ⊗ v.
+template <typename W, typename M, typename Accum, typename Op, typename U,
+          typename V>
+void eWiseMult(Vector<W>& w, const Vector<M>* mask, Accum accum, Op op,
+               const Vector<U>& u, const Vector<V>& v,
+               const Descriptor& desc = {}) {
+  auto t = detail::ewise_mult_compute<W>(op, u, v);
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+/// C = A ⊕ B.
+template <typename W, typename Op, typename U, typename V>
+void eWiseAdd(Matrix<W>& c, Op op, const Matrix<U>& a, const Matrix<V>& b) {
+  auto t = detail::ewise_add_compute<W>(op, a, b);
+  detail::write_back(c, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// C<M> (+)= A ⊕ B.
+template <typename W, typename M, typename Accum, typename Op, typename U,
+          typename V>
+void eWiseAdd(Matrix<W>& c, const Matrix<M>* mask, Accum accum, Op op,
+              const Matrix<U>& a, const Matrix<V>& b,
+              const Descriptor& desc = {}) {
+  auto t = detail::ewise_add_compute<W>(op, a, b);
+  detail::write_back(c, mask, accum, desc, std::move(t));
+}
+
+/// C = A ⊗ B.
+template <typename W, typename Op, typename U, typename V>
+void eWiseMult(Matrix<W>& c, Op op, const Matrix<U>& a, const Matrix<V>& b) {
+  auto t = detail::ewise_mult_compute<W>(op, a, b);
+  detail::write_back(c, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// C<M> (+)= A ⊗ B.
+template <typename W, typename M, typename Accum, typename Op, typename U,
+          typename V>
+void eWiseMult(Matrix<W>& c, const Matrix<M>* mask, Accum accum, Op op,
+               const Matrix<U>& a, const Matrix<V>& b,
+               const Descriptor& desc = {}) {
+  auto t = detail::ewise_mult_compute<W>(op, a, b);
+  detail::write_back(c, mask, accum, desc, std::move(t));
+}
+
+}  // namespace grb

@@ -1,0 +1,170 @@
+// GrB_extract: submatrix C = A(I, J), subvector w = u(I), and the row-slice
+// convenience w = A(i, :). Q2's batch algorithm extracts, for every comment,
+// the friendship submatrix induced by the users who like it — so the
+// submatrix kernel is on the hot path and avoids any O(ncols) scratch:
+// when J is sorted it maps columns by binary search (O(deg · log |J|));
+// otherwise it falls back to a hash map.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "grb/detail/write_back.hpp"
+#include "grb/matrix.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+inline bool is_sorted_unique(std::span<const Index> xs) {
+  for (std::size_t k = 1; k < xs.size(); ++k) {
+    if (xs[k] <= xs[k - 1]) return false;
+  }
+  return true;
+}
+
+/// Maps source column -> output position for an index list J.
+class ColMapper {
+ public:
+  explicit ColMapper(std::span<const Index> j) : j_(j) {
+    sorted_ = is_sorted_unique(j);
+    if (!sorted_) {
+      map_.reserve(j.size());
+      for (std::size_t k = 0; k < j.size(); ++k) {
+        const auto [it, inserted] = map_.emplace(j[k], static_cast<Index>(k));
+        if (!inserted) {
+          throw InvalidValue("extract: duplicate column index");
+        }
+      }
+    }
+  }
+
+  /// Output position of source column c, or npos.
+  static constexpr Index npos = static_cast<Index>(-1);
+  [[nodiscard]] Index lookup(Index c) const {
+    if (sorted_) {
+      const auto it = std::lower_bound(j_.begin(), j_.end(), c);
+      if (it == j_.end() || *it != c) return npos;
+      return static_cast<Index>(it - j_.begin());
+    }
+    const auto it = map_.find(c);
+    return it == map_.end() ? npos : it->second;
+  }
+
+ private:
+  std::span<const Index> j_;
+  bool sorted_ = false;
+  std::unordered_map<Index, Index> map_;
+};
+
+template <typename U>
+Matrix<U> extract_compute(const Matrix<U>& a, std::span<const Index> rows,
+                          std::span<const Index> cols) {
+  for (const Index i : rows) {
+    if (i >= a.nrows()) throw IndexOutOfBounds("extract: row " + std::to_string(i));
+  }
+  for (const Index j : cols) {
+    if (j >= a.ncols()) throw IndexOutOfBounds("extract: col " + std::to_string(j));
+  }
+  const ColMapper mapper(cols);
+  const Index nr = static_cast<Index>(rows.size());
+  std::vector<Index> rowptr(nr + 1, 0);
+  std::vector<Index> colind;
+  std::vector<U> val;
+  std::vector<std::pair<Index, U>> rowbuf;
+  for (Index out_i = 0; out_i < nr; ++out_i) {
+    const Index src = rows[out_i];
+    const auto acols = a.row_cols(src);
+    const auto avals = a.row_vals(src);
+    rowbuf.clear();
+    for (std::size_t k = 0; k < acols.size(); ++k) {
+      const Index pos = mapper.lookup(acols[k]);
+      if (pos != ColMapper::npos) {
+        rowbuf.emplace_back(pos, avals[k]);
+      }
+    }
+    std::sort(rowbuf.begin(), rowbuf.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [j, v] : rowbuf) {
+      colind.push_back(j);
+      val.push_back(v);
+    }
+    rowptr[out_i + 1] = static_cast<Index>(colind.size());
+  }
+  return Matrix<U>::adopt_csr(nr, static_cast<Index>(cols.size()),
+                              std::move(rowptr), std::move(colind),
+                              std::move(val));
+}
+
+template <typename U>
+Vector<U> extract_compute(const Vector<U>& u, std::span<const Index> idx) {
+  std::vector<std::pair<Index, U>> buf;
+  for (Index k = 0; k < static_cast<Index>(idx.size()); ++k) {
+    if (idx[k] >= u.size()) {
+      throw IndexOutOfBounds("extract: index " + std::to_string(idx[k]));
+    }
+    if (const auto v = u.at(idx[k])) {
+      buf.emplace_back(k, *v);
+    }
+  }
+  std::sort(buf.begin(), buf.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<Index> oi;
+  std::vector<U> ov;
+  oi.reserve(buf.size());
+  ov.reserve(buf.size());
+  for (const auto& [i, v] : buf) {
+    oi.push_back(i);
+    ov.push_back(v);
+  }
+  return Vector<U>::adopt_sorted(static_cast<Index>(idx.size()),
+                                 std::move(oi), std::move(ov));
+}
+
+}  // namespace detail
+
+/// C = A(I, J): rows I and columns J, renumbered to 0..|I|-1 × 0..|J|-1 in
+/// list order.
+template <typename U>
+void extract(Matrix<U>& c, const Matrix<U>& a, std::span<const Index> rows,
+             std::span<const Index> cols) {
+  auto t = detail::extract_compute(a, rows, cols);
+  detail::write_back(c, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// Returns A(I, J) by value (hot-path form used by Q2).
+template <typename U>
+[[nodiscard]] Matrix<U> extract_submatrix(const Matrix<U>& a,
+                                          std::span<const Index> rows,
+                                          std::span<const Index> cols) {
+  return detail::extract_compute(a, rows, cols);
+}
+
+/// w = u(I).
+template <typename U>
+void extract(Vector<U>& w, const Vector<U>& u, std::span<const Index> idx) {
+  auto t = detail::extract_compute(u, idx);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// w = A(i, :) as a sparse vector of size ncols (GrB_Col_extract on Aᵀ).
+template <typename U>
+[[nodiscard]] Vector<U> extract_row(const Matrix<U>& a, Index i) {
+  if (i >= a.nrows()) {
+    throw IndexOutOfBounds("extract_row: " + std::to_string(i));
+  }
+  const auto cols = a.row_cols(i);
+  const auto vals = a.row_vals(i);
+  return Vector<U>::adopt_sorted(a.ncols(),
+                                 std::vector<Index>(cols.begin(), cols.end()),
+                                 std::vector<U>(vals.begin(), vals.end()));
+}
+
+}  // namespace grb

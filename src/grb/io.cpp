@@ -1,0 +1,137 @@
+#include "grb/io.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+
+namespace grb {
+
+namespace {
+
+struct MmHeader {
+  bool pattern = false;
+  bool symmetric = false;
+};
+
+MmHeader parse_header(const std::string& line) {
+  std::istringstream in(line);
+  std::string banner, object, format, field, symmetry;
+  in >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix" ||
+      format != "coordinate") {
+    throw InvalidValue("not a coordinate MatrixMarket file: " + line);
+  }
+  MmHeader h;
+  if (field == "pattern") {
+    h.pattern = true;
+  } else if (field != "integer" && field != "real") {
+    throw InvalidValue("unsupported MatrixMarket field: " + field);
+  }
+  if (symmetry == "symmetric") {
+    h.symmetric = true;
+  } else if (symmetry != "general") {
+    throw InvalidValue("unsupported MatrixMarket symmetry: " + symmetry);
+  }
+  return h;
+}
+
+}  // namespace
+
+template <typename T>
+Matrix<T> read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open MatrixMarket file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw InvalidValue("empty MatrixMarket file: " + path);
+  }
+  const MmHeader header = parse_header(line);
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  Index nrows = 0, ncols = 0;
+  std::size_t nnz = 0;
+  if (!(dims >> nrows >> ncols >> nnz)) {
+    throw InvalidValue("malformed MatrixMarket size line: " + line);
+  }
+  std::vector<Tuple<T>> tuples;
+  tuples.reserve(header.symmetric ? 2 * nnz : nnz);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    if (!std::getline(in, line)) {
+      throw InvalidValue("MatrixMarket file truncated at entry " +
+                         std::to_string(k));
+    }
+    std::istringstream entry(line);
+    Index i = 0, j = 0;
+    if (!(entry >> i >> j) || i == 0 || j == 0) {
+      throw InvalidValue("malformed MatrixMarket entry: " + line);
+    }
+    T value{1};
+    if (!header.pattern) {
+      double v = 0;
+      if (!(entry >> v)) {
+        throw InvalidValue("missing value in MatrixMarket entry: " + line);
+      }
+      value = static_cast<T>(v);
+    }
+    tuples.push_back({i - 1, j - 1, value});  // 1-based -> 0-based
+    if (header.symmetric && i != j) {
+      tuples.push_back({j - 1, i - 1, value});
+    }
+  }
+  return Matrix<T>::build(nrows, ncols, std::move(tuples), Second<T>{});
+}
+
+template <typename T>
+void write_matrix_market(const Matrix<T>& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open MatrixMarket file for writing: " +
+                             path);
+  }
+  const char* field =
+      std::is_floating_point_v<T> ? "real" : "integer";
+  out << "%%MatrixMarket matrix coordinate " << field << " general\n";
+  out << "% written by grbsm\n";
+  out << m.nrows() << ' ' << m.ncols() << ' ' << m.nvals() << '\n';
+  for (Index i = 0; i < m.nrows(); ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (i + 1) << ' ' << (cols[k] + 1) << ' ';
+      if constexpr (std::is_floating_point_v<T>) {
+        out << vals[k];
+      } else {
+        out << static_cast<std::int64_t>(vals[k]);
+      }
+      out << '\n';
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("I/O error while writing " + path);
+  }
+}
+
+template Matrix<std::uint64_t> read_matrix_market<std::uint64_t>(
+    const std::string&);
+template Matrix<std::int64_t> read_matrix_market<std::int64_t>(
+    const std::string&);
+template Matrix<double> read_matrix_market<double>(const std::string&);
+template Matrix<Bool> read_matrix_market<Bool>(const std::string&);
+template void write_matrix_market<std::uint64_t>(const Matrix<std::uint64_t>&,
+                                                 const std::string&);
+template void write_matrix_market<std::int64_t>(const Matrix<std::int64_t>&,
+                                                const std::string&);
+template void write_matrix_market<double>(const Matrix<double>&,
+                                          const std::string&);
+template void write_matrix_market<Bool>(const Matrix<Bool>&,
+                                        const std::string&);
+
+}  // namespace grb

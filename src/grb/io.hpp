@@ -1,0 +1,40 @@
+// Matrix Market (coordinate format) import/export for grb::Matrix —
+// the lingua franca of sparse-matrix tooling (SuiteSparse collection,
+// LAGraph test inputs). Supports `general` and `symmetric` patterns and
+// both `pattern` (value-less) and `integer`/`real` fields.
+#pragma once
+
+#include <string>
+
+#include "grb/matrix.hpp"
+
+namespace grb {
+
+/// Reads a Matrix Market file into a Matrix<T>. `pattern` entries become 1.
+/// Symmetric files are expanded to both triangles. Throws grb::InvalidValue
+/// on malformed input and std::runtime_error on I/O failure.
+template <typename T>
+Matrix<T> read_matrix_market(const std::string& path);
+
+/// Writes coordinate-format Matrix Market (`general` symmetry, integer or
+/// real field depending on T).
+template <typename T>
+void write_matrix_market(const Matrix<T>& m, const std::string& path);
+
+// Explicitly instantiated for the value types the repository uses.
+extern template Matrix<std::uint64_t> read_matrix_market<std::uint64_t>(
+    const std::string&);
+extern template Matrix<std::int64_t> read_matrix_market<std::int64_t>(
+    const std::string&);
+extern template Matrix<double> read_matrix_market<double>(const std::string&);
+extern template Matrix<Bool> read_matrix_market<Bool>(const std::string&);
+extern template void write_matrix_market<std::uint64_t>(
+    const Matrix<std::uint64_t>&, const std::string&);
+extern template void write_matrix_market<std::int64_t>(
+    const Matrix<std::int64_t>&, const std::string&);
+extern template void write_matrix_market<double>(const Matrix<double>&,
+                                                 const std::string&);
+extern template void write_matrix_market<Bool>(const Matrix<Bool>&,
+                                               const std::string&);
+
+}  // namespace grb

@@ -1,0 +1,141 @@
+// GrB_mxm: sparse matrix-matrix product over a semiring, C = A ⊕.⊗ B.
+// Gustavson's row algorithm with a sparse accumulator (SPA) per thread:
+// row i of C is the ⊕-combination of the rows of B selected by row i of A.
+// Q2 incremental Step 1 (AC = Likes′ ⊕.⊗ NewFriends) is an mxm whose values
+// count how many endpoints of each new friendship like each comment.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "grb/detail/parallel.hpp"
+#include "grb/detail/write_back.hpp"
+#include "grb/matrix.hpp"
+#include "grb/semiring.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+/// Sparse accumulator: dense value + stamp arrays with an occupied list.
+/// Reused across rows by bumping the stamp (no O(ncols) clear per row).
+template <typename W>
+class Spa {
+ public:
+  explicit Spa(Index n) : val_(n), stamp_(n, 0) {}
+
+  void new_row() noexcept {
+    ++generation_;
+    occupied_.clear();
+  }
+
+  template <typename AddOp>
+  void accumulate(Index j, const W& v, const AddOp& add) {
+    if (stamp_[j] == generation_) {
+      val_[j] = static_cast<W>(add(val_[j], v));
+    } else {
+      stamp_[j] = generation_;
+      val_[j] = v;
+      occupied_.push_back(j);
+    }
+  }
+
+  /// Emits the row's entries sorted by column.
+  template <typename Emit>
+  void emit_sorted(Emit&& emit) {
+    std::sort(occupied_.begin(), occupied_.end());
+    for (const Index j : occupied_) {
+      emit(j, val_[j]);
+    }
+  }
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return occupied_.size(); }
+
+ private:
+  std::vector<W> val_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<Index> occupied_;
+  std::uint64_t generation_ = 0;
+};
+
+template <typename W, typename SR, typename A, typename B>
+Matrix<W> mxm_compute(const SR& sr, const Matrix<A>& a, const Matrix<B>& b) {
+  if (a.ncols() != b.nrows()) {
+    throw DimensionMismatch("mxm: A is " + std::to_string(a.nrows()) + "x" +
+                            std::to_string(a.ncols()) + ", B is " +
+                            std::to_string(b.nrows()) + "x" +
+                            std::to_string(b.ncols()));
+  }
+  const Index nrows = a.nrows();
+  std::vector<std::vector<Index>> row_cols(nrows);
+  std::vector<std::vector<W>> row_vals(nrows);
+
+  parallel_region([&](int tid, int nthreads) {
+    Spa<W> spa(b.ncols());
+    for (Index i = static_cast<Index>(tid); i < nrows;
+         i += static_cast<Index>(nthreads)) {
+      const auto acols = a.row_cols(i);
+      const auto avals = a.row_vals(i);
+      if (acols.empty()) continue;
+      spa.new_row();
+      for (std::size_t k = 0; k < acols.size(); ++k) {
+        const Index t = acols[k];
+        const W aval = static_cast<W>(avals[k]);
+        const auto bcols = b.row_cols(t);
+        const auto bvals = b.row_vals(t);
+        for (std::size_t s = 0; s < bcols.size(); ++s) {
+          spa.accumulate(bcols[s],
+                         static_cast<W>(sr.mul(aval, static_cast<W>(bvals[s]))),
+                         sr.add);
+        }
+      }
+      auto& oc = row_cols[i];
+      auto& ov = row_vals[i];
+      oc.reserve(spa.nnz());
+      ov.reserve(spa.nnz());
+      spa.emit_sorted([&](Index j, const W& v) {
+        oc.push_back(j);
+        ov.push_back(v);
+      });
+    }
+  });
+
+  // Assemble CSR from the per-row results.
+  std::vector<Index> rowptr(nrows + 1, 0);
+  for (Index i = 0; i < nrows; ++i) {
+    rowptr[i + 1] = rowptr[i] + static_cast<Index>(row_cols[i].size());
+  }
+  std::vector<Index> colind(rowptr[nrows]);
+  std::vector<W> val(rowptr[nrows]);
+  parallel_for(nrows, [&](Index i) {
+    std::copy(row_cols[i].begin(), row_cols[i].end(),
+              colind.begin() + static_cast<std::ptrdiff_t>(rowptr[i]));
+    std::copy(row_vals[i].begin(), row_vals[i].end(),
+              val.begin() + static_cast<std::ptrdiff_t>(rowptr[i]));
+  });
+  return Matrix<W>::adopt_csr(nrows, b.ncols(), std::move(rowptr),
+                              std::move(colind), std::move(val));
+}
+
+}  // namespace detail
+
+/// C = A ⊕.⊗ B.
+template <typename W, typename SR, typename A, typename B>
+void mxm(Matrix<W>& c, const SR& sr, const Matrix<A>& a, const Matrix<B>& b) {
+  auto t = detail::mxm_compute<W>(sr, a, b);
+  detail::write_back(c, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// C<M> (+)= A ⊕.⊗ B.
+template <typename W, typename M, typename Accum, typename SR, typename A,
+          typename B>
+void mxm(Matrix<W>& c, const Matrix<M>* mask, Accum accum, const SR& sr,
+         const Matrix<A>& a, const Matrix<B>& b, const Descriptor& desc = {}) {
+  auto t = detail::mxm_compute<W>(sr, a, b);
+  detail::write_back(c, mask, accum, desc, std::move(t));
+}
+
+}  // namespace grb

@@ -1,0 +1,153 @@
+// Matrix-vector products over a semiring: GrB_mxv (w = A ⊕.⊗ u) and
+// GrB_vxm (wᵀ = uᵀ ⊕.⊗ A). Alg. 1 line 8 (likesScore = RootPost ⊕.⊗
+// likesCount) is an mxv with the plus_second semiring; FastSV's hooking step
+// is an mxv with min_second.
+//
+// mxv uses the gather (dot-product) formulation: the right operand is
+// scattered into a dense buffer once, then rows are processed independently
+// in parallel. vxm uses the scatter (outer-product) formulation with
+// per-thread sparse accumulators merged under the additive monoid.
+#pragma once
+
+#include <utility>
+
+#include "grb/detail/parallel.hpp"
+#include "grb/detail/write_back.hpp"
+#include "grb/matrix.hpp"
+#include "grb/semiring.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+template <typename W, typename SR, typename A, typename U>
+Vector<W> mxv_compute(const SR& sr, const Matrix<A>& a, const Vector<U>& u) {
+  if (a.ncols() != u.size()) {
+    throw DimensionMismatch("mxv: A is " + std::to_string(a.nrows()) + "x" +
+                            std::to_string(a.ncols()) + ", u has size " +
+                            std::to_string(u.size()));
+  }
+  // Scatter u into dense (value, present) arrays.
+  std::vector<W> uval(a.ncols());
+  std::vector<unsigned char> upresent(a.ncols(), 0);
+  {
+    const auto ui = u.indices();
+    const auto uv = u.values();
+    for (std::size_t k = 0; k < ui.size(); ++k) {
+      uval[ui[k]] = static_cast<W>(uv[k]);
+      upresent[ui[k]] = 1;
+    }
+  }
+  std::vector<W> acc(a.nrows());
+  std::vector<unsigned char> hit(a.nrows(), 0);
+  parallel_for(
+      a.nrows(),
+      [&](Index i) {
+        const auto cols = a.row_cols(i);
+        const auto vals = a.row_vals(i);
+        bool any = false;
+        W s{};
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          const Index j = cols[k];
+          if (!upresent[j]) continue;
+          const W prod =
+              static_cast<W>(sr.mul(static_cast<W>(vals[k]), uval[j]));
+          s = any ? static_cast<W>(sr.add(s, prod)) : prod;
+          any = true;
+        }
+        if (any) {
+          acc[i] = s;
+          hit[i] = 1;
+        }
+      },
+      a.nvals());
+  std::vector<Index> oi;
+  std::vector<W> ov;
+  for (Index i = 0; i < a.nrows(); ++i) {
+    if (hit[i]) {
+      oi.push_back(i);
+      ov.push_back(acc[i]);
+    }
+  }
+  return Vector<W>::adopt_sorted(a.nrows(), std::move(oi), std::move(ov));
+}
+
+template <typename W, typename SR, typename U, typename A>
+Vector<W> vxm_compute(const SR& sr, const Vector<U>& u, const Matrix<A>& a) {
+  if (a.nrows() != u.size()) {
+    throw DimensionMismatch("vxm: u has size " + std::to_string(u.size()) +
+                            ", A is " + std::to_string(a.nrows()) + "x" +
+                            std::to_string(a.ncols()));
+  }
+  const auto ui = u.indices();
+  const auto uv = u.values();
+  std::vector<W> acc(a.ncols());
+  std::vector<unsigned char> hit(a.ncols(), 0);
+  // Serial scatter: per-update frontiers are small; BFS levels on large
+  // graphs dominate via the row scans, not this loop.
+  for (std::size_t k = 0; k < ui.size(); ++k) {
+    const Index i = ui[k];
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      const Index j = cols[t];
+      const W prod = static_cast<W>(
+          sr.mul(static_cast<W>(uv[k]), static_cast<W>(vals[t])));
+      if (hit[j]) {
+        acc[j] = static_cast<W>(sr.add(acc[j], prod));
+      } else {
+        acc[j] = prod;
+        hit[j] = 1;
+      }
+    }
+  }
+  std::vector<Index> oi;
+  std::vector<W> ov;
+  for (Index j = 0; j < a.ncols(); ++j) {
+    if (hit[j]) {
+      oi.push_back(j);
+      ov.push_back(acc[j]);
+    }
+  }
+  return Vector<W>::adopt_sorted(a.ncols(), std::move(oi), std::move(ov));
+}
+
+}  // namespace detail
+
+/// w = A ⊕.⊗ u.
+template <typename W, typename SR, typename A, typename U>
+void mxv(Vector<W>& w, const SR& sr, const Matrix<A>& a, const Vector<U>& u) {
+  auto t = detail::mxv_compute<W>(sr, a, u);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// w<m> (+)= A ⊕.⊗ u.
+template <typename W, typename M, typename Accum, typename SR, typename A,
+          typename U>
+void mxv(Vector<W>& w, const Vector<M>* mask, Accum accum, const SR& sr,
+         const Matrix<A>& a, const Vector<U>& u, const Descriptor& desc = {}) {
+  auto t = detail::mxv_compute<W>(sr, a, u);
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+/// wᵀ = uᵀ ⊕.⊗ A.
+template <typename W, typename SR, typename U, typename A>
+void vxm(Vector<W>& w, const SR& sr, const Vector<U>& u, const Matrix<A>& a) {
+  auto t = detail::vxm_compute<W>(sr, u, a);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// wᵀ<mᵀ> (+)= uᵀ ⊕.⊗ A.
+template <typename W, typename M, typename Accum, typename SR, typename U,
+          typename A>
+void vxm(Vector<W>& w, const Vector<M>* mask, Accum accum, const SR& sr,
+         const Vector<U>& u, const Matrix<A>& a, const Descriptor& desc = {}) {
+  auto t = detail::vxm_compute<W>(sr, u, a);
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+}  // namespace grb

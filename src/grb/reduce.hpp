@@ -1,0 +1,141 @@
+// GrB_reduce: fold a matrix into a vector (row-wise) or a scalar, and a
+// vector into a scalar, under a commutative monoid. Alg. 1 line 6 is a
+// row-wise plus-reduction of RootPost; Q2 incremental Step 3 is a row-wise
+// lor-reduction of the AC matrix.
+#pragma once
+
+#include <utility>
+
+#include "grb/detail/parallel.hpp"
+#include "grb/detail/write_back.hpp"
+#include "grb/matrix.hpp"
+#include "grb/semiring.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+template <typename W, typename MonoidT, typename U>
+Vector<W> reduce_rows_compute(const MonoidT& monoid, const Matrix<U>& a) {
+  // One pass per row; rows with no entries produce no output entry
+  // (GraphBLAS reduce yields a sparse result).
+  std::vector<Index> oi;
+  std::vector<W> ov;
+  std::vector<unsigned char> nonempty(a.nrows(), 0);
+  std::vector<W> acc(a.nrows());
+  parallel_for(
+      a.nrows(),
+      [&](Index i) {
+        const auto av = a.row_vals(i);
+        if (av.empty()) return;
+        W s = static_cast<W>(av[0]);
+        for (std::size_t k = 1; k < av.size(); ++k) {
+          s = monoid(s, static_cast<W>(av[k]));
+        }
+        acc[i] = s;
+        nonempty[i] = 1;
+      },
+      a.nvals());
+  for (Index i = 0; i < a.nrows(); ++i) {
+    if (nonempty[i]) {
+      oi.push_back(i);
+      ov.push_back(acc[i]);
+    }
+  }
+  return Vector<W>::adopt_sorted(a.nrows(), std::move(oi), std::move(ov));
+}
+
+}  // namespace detail
+
+/// w = [⊕_j A(:, j)] — row-wise reduction.
+template <typename W, typename MonoidT, typename U>
+void reduce_rows(Vector<W>& w, const MonoidT& monoid, const Matrix<U>& a) {
+  auto t = detail::reduce_rows_compute<W>(monoid, a);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// w<m> (+)= [⊕_j A(:, j)].
+template <typename W, typename M, typename Accum, typename MonoidT,
+          typename U>
+void reduce_rows(Vector<W>& w, const Vector<M>* mask, Accum accum,
+                 const MonoidT& monoid, const Matrix<U>& a,
+                 const Descriptor& desc = {}) {
+  auto t = detail::reduce_rows_compute<W>(monoid, a);
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+namespace detail {
+
+template <typename W, typename MonoidT, typename U>
+Vector<W> reduce_cols_compute(const MonoidT& monoid, const Matrix<U>& a) {
+  std::vector<W> acc(a.ncols());
+  std::vector<unsigned char> hit(a.ncols(), 0);
+  for (Index i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index j = cols[k];
+      if (hit[j]) {
+        acc[j] = monoid(acc[j], static_cast<W>(vals[k]));
+      } else {
+        acc[j] = static_cast<W>(vals[k]);
+        hit[j] = 1;
+      }
+    }
+  }
+  std::vector<Index> oi;
+  std::vector<W> ov;
+  for (Index j = 0; j < a.ncols(); ++j) {
+    if (hit[j]) {
+      oi.push_back(j);
+      ov.push_back(acc[j]);
+    }
+  }
+  return Vector<W>::adopt_sorted(a.ncols(), std::move(oi), std::move(ov));
+}
+
+}  // namespace detail
+
+/// w = [⊕_i A(i, :)] — column-wise reduction (GrB_reduce with GrB_TRAN).
+template <typename W, typename MonoidT, typename U>
+void reduce_cols(Vector<W>& w, const MonoidT& monoid, const Matrix<U>& a) {
+  auto t = detail::reduce_cols_compute<W>(monoid, a);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// w<m> (+)= [⊕_i A(i, :)].
+template <typename W, typename M, typename Accum, typename MonoidT,
+          typename U>
+void reduce_cols(Vector<W>& w, const Vector<M>* mask, Accum accum,
+                 const MonoidT& monoid, const Matrix<U>& a,
+                 const Descriptor& desc = {}) {
+  auto t = detail::reduce_cols_compute<W>(monoid, a);
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+/// s = ⊕_{ij} A(i, j) — full reduction to scalar. Empty matrix yields the
+/// monoid identity.
+template <typename S, typename MonoidT, typename U>
+[[nodiscard]] S reduce_scalar(const MonoidT& monoid, const Matrix<U>& a) {
+  S s = static_cast<S>(monoid.identity);
+  for (const U& v : a.values()) {
+    s = monoid(s, static_cast<S>(v));
+  }
+  return s;
+}
+
+/// s = ⊕_i u(i).
+template <typename S, typename MonoidT, typename U>
+[[nodiscard]] S reduce_scalar(const MonoidT& monoid, const Vector<U>& u) {
+  S s = static_cast<S>(monoid.identity);
+  for (const U& v : u.values()) {
+    s = monoid(s, static_cast<S>(v));
+  }
+  return s;
+}
+
+}  // namespace grb

@@ -1,0 +1,86 @@
+// GxB_select: keep the entries satisfying an (i, j, value) predicate. The
+// Q2 incremental algorithm's Step 2 selects AC cells equal to 2 (both
+// endpoints of a new friendship like the comment).
+#pragma once
+
+#include <utility>
+
+#include "grb/detail/write_back.hpp"
+#include "grb/matrix.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+template <typename Pred, typename U>
+Vector<U> select_compute(Pred pred, const Vector<U>& u) {
+  const auto ui = u.indices();
+  const auto uv = u.values();
+  std::vector<Index> oi;
+  std::vector<U> ov;
+  for (std::size_t k = 0; k < ui.size(); ++k) {
+    if (pred(ui[k], Index{0}, uv[k])) {
+      oi.push_back(ui[k]);
+      ov.push_back(uv[k]);
+    }
+  }
+  return Vector<U>::adopt_sorted(u.size(), std::move(oi), std::move(ov));
+}
+
+template <typename Pred, typename U>
+Matrix<U> select_compute(Pred pred, const Matrix<U>& a) {
+  std::vector<Index> rowptr(a.nrows() + 1, 0);
+  std::vector<Index> colind;
+  std::vector<U> val;
+  for (Index i = 0; i < a.nrows(); ++i) {
+    const auto ai = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    for (std::size_t k = 0; k < ai.size(); ++k) {
+      if (pred(i, ai[k], av[k])) {
+        colind.push_back(ai[k]);
+        val.push_back(av[k]);
+      }
+    }
+    rowptr[i + 1] = static_cast<Index>(colind.size());
+  }
+  return Matrix<U>::adopt_csr(a.nrows(), a.ncols(), std::move(rowptr),
+                              std::move(colind), std::move(val));
+}
+
+}  // namespace detail
+
+/// w = select(pred, u): entries of u for which pred(i, 0, value) holds.
+template <typename Pred, typename U>
+void select(Vector<U>& w, Pred pred, const Vector<U>& u) {
+  auto t = detail::select_compute(pred, u);
+  detail::write_back(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// w<m> (+)= select(pred, u).
+template <typename M, typename Accum, typename Pred, typename U>
+void select(Vector<U>& w, const Vector<M>* mask, Accum accum, Pred pred,
+            const Vector<U>& u, const Descriptor& desc = {}) {
+  auto t = detail::select_compute(pred, u);
+  detail::write_back(w, mask, accum, desc, std::move(t));
+}
+
+/// C = select(pred, A): entries of A for which pred(i, j, value) holds.
+template <typename Pred, typename U>
+void select(Matrix<U>& c, Pred pred, const Matrix<U>& a) {
+  auto t = detail::select_compute(pred, a);
+  detail::write_back(c, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// C<M> (+)= select(pred, A).
+template <typename M, typename Accum, typename Pred, typename U>
+void select(Matrix<U>& c, const Matrix<M>* mask, Accum accum, Pred pred,
+            const Matrix<U>& a, const Descriptor& desc = {}) {
+  auto t = detail::select_compute(pred, a);
+  detail::write_back(c, mask, accum, desc, std::move(t));
+}
+
+}  // namespace grb

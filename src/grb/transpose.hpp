@@ -1,0 +1,61 @@
+// GrB_transpose. Counting-sort based CSR transpose, O(nnz + nrows + ncols).
+// The solution stores RootPost as posts×comments and Likes as
+// comments×users; transposes produce the opposite orientations when a
+// kernel needs them.
+#pragma once
+
+#include <utility>
+
+#include "grb/detail/write_back.hpp"
+#include "grb/matrix.hpp"
+#include "grb/types.hpp"
+
+namespace grb {
+
+namespace detail {
+
+template <typename U>
+Matrix<U> transpose_compute(const Matrix<U>& a) {
+  const Index nr = a.ncols();  // transposed dims
+  const Index nc = a.nrows();
+  std::vector<Index> rowptr(nr + 1, 0);
+  const auto acolind = a.colind();
+  for (const Index j : acolind) {
+    ++rowptr[j + 1];
+  }
+  for (Index i = 0; i < nr; ++i) {
+    rowptr[i + 1] += rowptr[i];
+  }
+  std::vector<Index> colind(a.nvals());
+  std::vector<U> val(a.nvals());
+  std::vector<Index> cursor(rowptr.begin(), rowptr.end() - 1);
+  for (Index i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index pos = cursor[cols[k]]++;
+      colind[pos] = i;
+      val[pos] = vals[k];
+    }
+  }
+  return Matrix<U>::adopt_csr(nr, nc, std::move(rowptr), std::move(colind),
+                              std::move(val));
+}
+
+}  // namespace detail
+
+/// C = Aᵀ.
+template <typename U>
+void transpose(Matrix<U>& c, const Matrix<U>& a) {
+  auto t = detail::transpose_compute(a);
+  detail::write_back(c, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                     Descriptor{}, std::move(t));
+}
+
+/// Returns Aᵀ by value.
+template <typename U>
+[[nodiscard]] Matrix<U> transposed(const Matrix<U>& a) {
+  return detail::transpose_compute(a);
+}
+
+}  // namespace grb

@@ -1,0 +1,196 @@
+// grb::Vector<T> — a sparse vector stored as parallel (sorted index, value)
+// arrays, mirroring GrB_Vector. Vectors in this codebase are usually either
+// very sparse (per-update deltas) or effectively dense (score tables), and
+// the sorted-coordinate layout handles both without format switching.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+#include "grb/types.hpp"
+
+namespace grb {
+
+template <typename T>
+class Vector {
+  static_assert(!std::is_same_v<T, bool>,
+                "use grb::Bool (uint8_t), not bool: vector<bool> is a "
+                "bit-packed proxy and cannot expose spans");
+
+ public:
+  using value_type = T;
+
+  Vector() = default;
+
+  /// Empty vector of logical size n (GrB_Vector_new).
+  explicit Vector(Index n) : size_(n) {}
+
+  /// Builds from coordinate data (GrB_Vector_build). Duplicates are
+  /// combined with `dup`. Indices need not be sorted.
+  template <typename Dup = Second<T>>
+  static Vector build(Index n, std::vector<Index> idx, std::vector<T> vals,
+                      Dup dup = Dup{}) {
+    if (idx.size() != vals.size()) {
+      throw InvalidValue("build: index/value count mismatch");
+    }
+    Vector v(n);
+    if (idx.empty()) return v;
+    std::vector<std::size_t> order(idx.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return idx[a] < idx[b] || (idx[a] == idx[b] && a < b);
+    });
+    v.ind_.reserve(idx.size());
+    v.val_.reserve(idx.size());
+    for (const std::size_t k : order) {
+      if (idx[k] >= n) {
+        throw IndexOutOfBounds("build: index " + std::to_string(idx[k]) +
+                               " >= size " + std::to_string(n));
+      }
+      if (!v.ind_.empty() && v.ind_.back() == idx[k]) {
+        v.val_.back() = dup(v.val_.back(), vals[k]);
+      } else {
+        v.ind_.push_back(idx[k]);
+        v.val_.push_back(vals[k]);
+      }
+    }
+    return v;
+  }
+
+  /// Dense iota-style constructor used by FastSV: v(i) = f(i) for all i.
+  template <typename F>
+  static Vector dense(Index n, F&& f) {
+    Vector v(n);
+    v.ind_.resize(n);
+    v.val_.resize(n);
+    for (Index i = 0; i < n; ++i) {
+      v.ind_[i] = i;
+      v.val_[i] = f(i);
+    }
+    return v;
+  }
+
+  /// Dense constant vector.
+  static Vector full(Index n, const T& value) {
+    return dense(n, [&](Index) { return value; });
+  }
+
+  [[nodiscard]] Index size() const noexcept { return size_; }
+  [[nodiscard]] Index nvals() const noexcept {
+    return static_cast<Index>(ind_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return ind_.empty(); }
+
+  /// Drops all entries, keeps the logical size (GrB_Vector_clear).
+  void clear() noexcept {
+    ind_.clear();
+    val_.clear();
+  }
+
+  /// Changes the logical size (GrB_Vector_resize). Shrinking drops
+  /// out-of-range entries; growing keeps everything.
+  void resize(Index n) {
+    if (n < size_) {
+      const auto it = std::lower_bound(ind_.begin(), ind_.end(), n);
+      const auto keep = static_cast<std::size_t>(it - ind_.begin());
+      ind_.resize(keep);
+      val_.resize(keep);
+    }
+    size_ = n;
+  }
+
+  /// Reads one element (GrB_Vector_extractElement); empty optional if the
+  /// position holds no entry.
+  [[nodiscard]] std::optional<T> at(Index i) const {
+    check_bounds(i);
+    const auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+    if (it == ind_.end() || *it != i) return std::nullopt;
+    return val_[static_cast<std::size_t>(it - ind_.begin())];
+  }
+
+  /// Reads one element with a default for empty positions.
+  [[nodiscard]] T at_or(Index i, const T& def) const {
+    const auto v = at(i);
+    return v ? *v : def;
+  }
+
+  /// Writes one element (GrB_Vector_setElement). O(nvals) worst case; bulk
+  /// changes should go through build() or merge kernels instead.
+  void set(Index i, const T& value) {
+    check_bounds(i);
+    const auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+    const auto pos = static_cast<std::size_t>(it - ind_.begin());
+    if (it != ind_.end() && *it == i) {
+      val_[pos] = value;
+    } else {
+      ind_.insert(it, i);
+      val_.insert(val_.begin() + static_cast<std::ptrdiff_t>(pos), value);
+    }
+  }
+
+  /// Removes one element if present (GrB_Vector_removeElement).
+  void erase(Index i) {
+    check_bounds(i);
+    const auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+    if (it == ind_.end() || *it != i) return;
+    const auto pos = static_cast<std::size_t>(it - ind_.begin());
+    ind_.erase(it);
+    val_.erase(val_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+
+  /// Coordinate views (GrB_Vector_extractTuples without the copy).
+  [[nodiscard]] std::span<const Index> indices() const noexcept {
+    return ind_;
+  }
+  [[nodiscard]] std::span<const T> values() const noexcept { return val_; }
+  [[nodiscard]] std::span<T> values_mut() noexcept { return val_; }
+
+  /// Copies out coordinates (GrB_Vector_extractTuples).
+  void extract_tuples(std::vector<Index>& idx, std::vector<T>& vals) const {
+    idx.assign(ind_.begin(), ind_.end());
+    vals.assign(val_.begin(), val_.end());
+  }
+
+  /// Expands into a dense array with `fill` at empty positions.
+  [[nodiscard]] std::vector<T> to_dense(const T& fill = T{}) const {
+    std::vector<T> out(size_, fill);
+    for (std::size_t k = 0; k < ind_.size(); ++k) {
+      out[ind_[k]] = val_[k];
+    }
+    return out;
+  }
+
+  /// Structural + value equality (same pattern, same stored values).
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.size_ == b.size_ && a.ind_ == b.ind_ && a.val_ == b.val_;
+  }
+
+  /// Internal: adopts pre-sorted coordinate arrays without checking. Kernels
+  /// use this to emit results they constructed in order.
+  static Vector adopt_sorted(Index n, std::vector<Index>&& idx,
+                             std::vector<T>&& vals) {
+    Vector v(n);
+    v.ind_ = std::move(idx);
+    v.val_ = std::move(vals);
+    return v;
+  }
+
+ private:
+  void check_bounds(Index i) const {
+    if (i >= size_) {
+      throw IndexOutOfBounds("vector index " + std::to_string(i) +
+                             " >= size " + std::to_string(size_));
+    }
+  }
+
+  Index size_ = 0;
+  std::vector<Index> ind_;  // sorted, unique
+  std::vector<T> val_;      // val_[k] belongs to ind_[k]
+};
+
+}  // namespace grb

@@ -1,0 +1,41 @@
+// The benchmark framework's tool interface, mirroring the TTC 2018 contract:
+// a tool is instantiated for one query, loads the initial graph, produces
+// the initial answer, then alternates (apply change set, produce new
+// answer). Engines own whatever internal state they need; the harness only
+// ever sees answer strings, which it cross-checks between tools.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/change.hpp"
+#include "model/social_graph.hpp"
+
+namespace harness {
+
+enum class Query { kQ1, kQ2 };
+
+[[nodiscard]] inline const char* query_name(Query q) {
+  return q == Query::kQ1 ? "Q1" : "Q2";
+}
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Tool label as it appears in reports (e.g. "GraphBLAS Incremental").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// "Load" phase: ingest the initial graph and build internal structures.
+  virtual void load(const sm::SocialGraph& g) = 0;
+
+  /// "Initial evaluation" phase: the answer on the loaded graph.
+  virtual std::string initial() = 0;
+
+  /// "Update and reevaluation": apply one change set, return the new answer.
+  virtual std::string update(const sm::ChangeSet& cs) = 0;
+};
+
+using EnginePtr = std::unique_ptr<Engine>;
+
+}  // namespace harness

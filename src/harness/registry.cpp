@@ -1,0 +1,52 @@
+#include "harness/registry.hpp"
+
+#include "nmf/nmf_batch.hpp"
+#include "nmf/nmf_incremental.hpp"
+#include "queries/engines.hpp"
+
+namespace harness {
+
+const std::vector<ToolSpec>& fig5_tools() {
+  static const std::vector<ToolSpec> kTools = {
+      {"GraphBLAS Batch", "grb-batch", 1},
+      {"GraphBLAS Incremental", "grb-incremental", 1},
+      {"GraphBLAS Batch (8 threads)", "grb-batch", 8},
+      {"GraphBLAS Incremental (8 threads)", "grb-incremental", 8},
+      {"NMF Batch", "nmf-batch", 1},
+      {"NMF Incremental", "nmf-incremental", 1},
+  };
+  return kTools;
+}
+
+const std::vector<ToolSpec>& all_tools() {
+  static const std::vector<ToolSpec> kTools = [] {
+    std::vector<ToolSpec> tools = fig5_tools();
+    tools.push_back({"GraphBLAS Incremental+CC", "grb-incremental-cc", 1});
+    return tools;
+  }();
+  return kTools;
+}
+
+EnginePtr make_engine(const std::string& key, Query q) {
+  if (key == "grb-batch") return queries::make_grb_engine("batch", q);
+  if (key == "grb-incremental") {
+    return queries::make_grb_engine("incremental", q);
+  }
+  if (key == "grb-incremental-cc") {
+    return queries::make_grb_engine("incremental-cc", q);
+  }
+  if (key == "nmf-batch") return std::make_unique<nmf::NmfBatchEngine>(q);
+  if (key == "nmf-incremental") {
+    return std::make_unique<nmf::NmfIncrementalEngine>(q);
+  }
+  throw grb::InvalidValue("unknown engine key: " + key);
+}
+
+const ToolSpec& find_tool(const std::string& label_or_key) {
+  for (const ToolSpec& t : all_tools()) {
+    if (t.label == label_or_key || t.key == label_or_key) return t;
+  }
+  throw grb::InvalidValue("unknown tool: " + label_or_key);
+}
+
+}  // namespace harness

@@ -1,0 +1,38 @@
+// Tool registry: maps the tool names used in reports/CLIs to engine
+// factories, including the thread configuration baked into the paper's tool
+// labels ("GraphBLAS Batch (8 threads)" is the same binary with the
+// GxB_NTHREADS knob set to 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/engine.hpp"
+
+namespace harness {
+
+struct ToolSpec {
+  /// Report label, e.g. "GraphBLAS Incremental (8 threads)".
+  std::string label;
+  /// Factory key: "grb-batch", "grb-incremental", "grb-incremental-cc",
+  /// "nmf-batch", "nmf-incremental".
+  std::string key;
+  /// grb thread cap while this tool runs (NMF tools are single-threaded, as
+  /// the reference implementation is).
+  int threads = 1;
+};
+
+/// The six tools of Fig. 5, in the paper's legend order.
+const std::vector<ToolSpec>& fig5_tools();
+
+/// All known tools (Fig. 5 set + the incremental-CC extension).
+const std::vector<ToolSpec>& all_tools();
+
+/// Instantiates an engine by factory key; throws grb::InvalidValue for
+/// unknown keys.
+EnginePtr make_engine(const std::string& key, Query q);
+
+/// Looks up a ToolSpec by label or key; throws if absent.
+const ToolSpec& find_tool(const std::string& label_or_key);
+
+}  // namespace harness

@@ -1,0 +1,68 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace harness {
+
+namespace {
+std::string fmt_seconds(double s) {
+  if (s < 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", s);
+  return buf;
+}
+}  // namespace
+
+void print_table(std::ostream& os, const SeriesTable& table) {
+  os << "== " << table.title << " ==\n";
+  // Column widths: max of header and any cell.
+  std::vector<std::size_t> widths(table.cols.size() + 1, 0);
+  widths[0] = 5;  // "scale"
+  for (const auto& r : table.rows) widths[0] = std::max(widths[0], r.size());
+  for (std::size_t c = 0; c < table.cols.size(); ++c) {
+    widths[c + 1] = table.cols[c].size();
+  }
+  std::vector<std::vector<std::string>> cells(table.rows.size());
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    cells[r].resize(table.cols.size());
+    for (std::size_t c = 0; c < table.cols.size(); ++c) {
+      cells[r][c] = fmt_seconds(table.cells[r][c]);
+      widths[c + 1] = std::max(widths[c + 1], cells[r][c].size());
+    }
+  }
+  const auto pad = [&](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t i = s.size(); i < w + 2; ++i) os.put(' ');
+  };
+  pad("scale", widths[0]);
+  for (std::size_t c = 0; c < table.cols.size(); ++c) {
+    pad(table.cols[c], widths[c + 1]);
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    pad(table.rows[r], widths[0]);
+    for (std::size_t c = 0; c < table.cols.size(); ++c) {
+      pad(cells[r][c], widths[c + 1]);
+    }
+    os << '\n';
+  }
+  os << '\n';
+}
+
+void print_csv(std::ostream& os, const SeriesTable& table) {
+  os << "scale";
+  for (const auto& c : table.cols) os << ',' << c;
+  os << '\n';
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    os << table.rows[r];
+    for (std::size_t c = 0; c < table.cols.size(); ++c) {
+      os << ',';
+      if (table.cells[r][c] >= 0) os << table.cells[r][c];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace harness

@@ -1,0 +1,30 @@
+// Plain-text report formatting for the bench binaries: fixed-width series
+// tables (one row per scale factor, one column per tool) matching the
+// structure of the paper's Fig. 5 panels, plus CSV output for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harness {
+
+struct SeriesTable {
+  std::string title;
+  /// Row labels (scale factors).
+  std::vector<std::string> rows;
+  /// Column labels (tools).
+  std::vector<std::string> cols;
+  /// cell[r][c] in seconds; negative = missing (printed as "-").
+  std::vector<std::vector<double>> cells;
+};
+
+/// Pretty-prints with aligned columns; times in seconds with 4 significant
+/// digits (the paper's axis spans 1 ms .. 100 s).
+void print_table(std::ostream& os, const SeriesTable& table);
+
+/// Machine-readable CSV (same data; header row, row label first).
+void print_csv(std::ostream& os, const SeriesTable& table);
+
+}  // namespace harness

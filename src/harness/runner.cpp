@@ -1,0 +1,95 @@
+#include "harness/runner.hpp"
+
+#include "grb/context.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace harness {
+
+using grbsm::support::AccumulatingTimer;
+using grbsm::support::Timer;
+
+RunResult run_once(const ToolSpec& tool, Query q,
+                   const sm::SocialGraph& initial,
+                   const std::vector<sm::ChangeSet>& changes) {
+  const grb::ThreadGuard guard(tool.threads);
+  EnginePtr engine = make_engine(tool.key, q);
+  RunResult result;
+
+  Timer load_timer;
+  engine->load(initial);
+  result.initial_answer = engine->initial();
+  result.load_and_initial_s = load_timer.elapsed_s();
+
+  AccumulatingTimer update_timer;
+  result.update_answers.reserve(changes.size());
+  for (const sm::ChangeSet& cs : changes) {
+    update_timer.start();
+    std::string answer = engine->update(cs);
+    update_timer.stop();
+    result.update_answers.push_back(std::move(answer));
+  }
+  result.update_and_reeval_s = update_timer.total_s();
+  return result;
+}
+
+RepeatedResult run_repeated(const ToolSpec& tool, Query q,
+                            const sm::SocialGraph& initial,
+                            const std::vector<sm::ChangeSet>& changes,
+                            int repeats) {
+  RepeatedResult out;
+  std::vector<double> load_times;
+  std::vector<double> update_times;
+  for (int r = 0; r < repeats; ++r) {
+    RunResult run = run_once(tool, q, initial, changes);
+    if (r == 0) {
+      out.initial_answer = run.initial_answer;
+      out.update_answers = run.update_answers;
+    } else if (run.initial_answer != out.initial_answer ||
+               run.update_answers != out.update_answers) {
+      throw grb::InvalidValue("nondeterministic answers from " + tool.label);
+    }
+    load_times.push_back(run.load_and_initial_s);
+    update_times.push_back(run.update_and_reeval_s);
+  }
+  out.load_and_initial = grbsm::support::summarize(load_times);
+  out.update_and_reeval = grbsm::support::summarize(update_times);
+  return out;
+}
+
+std::vector<std::string> verify_tools(
+    const std::vector<ToolSpec>& tools, Query q,
+    const sm::SocialGraph& initial,
+    const std::vector<sm::ChangeSet>& changes) {
+  std::vector<std::string> reference;
+  std::string reference_tool;
+  for (const ToolSpec& tool : tools) {
+    RunResult run = run_once(tool, q, initial, changes);
+    std::vector<std::string> answers;
+    answers.push_back(run.initial_answer);
+    answers.insert(answers.end(), run.update_answers.begin(),
+                   run.update_answers.end());
+    if (reference.empty()) {
+      reference = std::move(answers);
+      reference_tool = tool.label;
+      GRBSM_LOG_DEBUG << "verify: " << tool.label << " sets the reference ("
+                      << reference.size() << " answers)";
+    } else if (answers != reference) {
+      for (std::size_t i = 0; i < answers.size(); ++i) {
+        if (answers[i] != reference[i]) {
+          throw grb::InvalidValue(
+              "answer mismatch on " + std::string(query_name(q)) + " step " +
+              std::to_string(i) + ": " + reference_tool + " says '" +
+              reference[i] + "', " + tool.label + " says '" + answers[i] +
+              "'");
+        }
+      }
+    } else {
+      GRBSM_LOG_DEBUG << "verify: " << tool.label << " agrees with "
+                      << reference_tool;
+    }
+  }
+  return reference;
+}
+
+}  // namespace harness

@@ -1,0 +1,54 @@
+// Phased benchmark runner implementing the TTC protocol the paper measures:
+//   phase 1  "load and initial evaluation"  — engine.load + engine.initial
+//   phase 2  "update and reevaluation"      — Σ over change sets of
+//                                             (apply + reevaluate)
+// Each configuration is run `repeats` times and summarised with the
+// geometric mean, as in Sec. IV ("we ran the computation on each graph size
+// 5 times and report the geometric mean value").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/engine.hpp"
+#include "harness/registry.hpp"
+#include "support/stats.hpp"
+
+namespace harness {
+
+struct RunResult {
+  double load_and_initial_s = 0.0;
+  double update_and_reeval_s = 0.0;
+  std::string initial_answer;
+  std::vector<std::string> update_answers;
+};
+
+/// One full protocol run of a tool on a dataset. Sets grb::set_threads to
+/// the tool's configuration for the duration of the run.
+RunResult run_once(const ToolSpec& tool, Query q, const sm::SocialGraph& initial,
+                   const std::vector<sm::ChangeSet>& changes);
+
+struct RepeatedResult {
+  grbsm::support::Summary load_and_initial;
+  grbsm::support::Summary update_and_reeval;
+  /// Answers from the last run (identical across runs — engines are
+  /// deterministic; the runner asserts this).
+  std::string initial_answer;
+  std::vector<std::string> update_answers;
+};
+
+/// Runs the protocol `repeats` times and summarises.
+RepeatedResult run_repeated(const ToolSpec& tool, Query q,
+                            const sm::SocialGraph& initial,
+                            const std::vector<sm::ChangeSet>& changes,
+                            int repeats);
+
+/// Cross-checks that every tool produces the same answer sequence on the
+/// dataset; returns the reference sequence. Throws grb::InvalidValue with a
+/// diagnostic if any tool disagrees (used by tests and --verify runs).
+std::vector<std::string> verify_tools(const std::vector<ToolSpec>& tools,
+                                      Query q,
+                                      const sm::SocialGraph& initial,
+                                      const std::vector<sm::ChangeSet>& changes);
+
+}  // namespace harness

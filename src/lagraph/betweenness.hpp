@@ -1,0 +1,24 @@
+// Betweenness centrality (Brandes' algorithm, batched-sources variant as in
+// LAGraph's LAGr_Betweenness): for a set of source vertices, accumulate the
+// pair-dependency of every vertex via a forward BFS phase (counting
+// shortest paths with plus_times frontier products) and a backward
+// dependency-propagation phase. Exact when sources = all vertices;
+// subsampled sources give the usual unbiased estimate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+
+/// Batched Brandes betweenness for a directed graph (row -> col edges),
+/// accumulated over the given source vertices.
+std::vector<double> betweenness(const grb::Matrix<grb::Bool>& adj,
+                                std::span<const grb::Index> sources);
+
+/// Exact betweenness (all vertices as sources).
+std::vector<double> betweenness_exact(const grb::Matrix<grb::Bool>& adj);
+
+}  // namespace lagraph

@@ -1,0 +1,42 @@
+#include "lagraph/bfs.hpp"
+
+namespace lagraph {
+
+using grb::Bool;
+using grb::Index;
+
+std::vector<Index> bfs_levels(const grb::Matrix<Bool>& adj, Index source) {
+  if (adj.nrows() != adj.ncols()) {
+    throw grb::DimensionMismatch("bfs_levels: adjacency must be square");
+  }
+  const Index n = adj.nrows();
+  if (source >= n) {
+    throw grb::IndexOutOfBounds("bfs_levels: source " + std::to_string(source));
+  }
+  std::vector<Index> level(n, kUnreachable);
+  level[source] = 0;
+
+  // visited doubles as the (complemented) mask; frontier is q.
+  grb::Vector<Bool> visited = grb::Vector<Bool>::build(n, {source}, {Bool{1}});
+  grb::Vector<Bool> frontier = visited;
+  const auto sr = grb::lor_land_semiring<Bool>();
+  grb::Descriptor not_visited;
+  not_visited.complement_mask = true;
+  not_visited.replace = true;
+
+  for (Index depth = 1; frontier.nvals() > 0 && depth <= n; ++depth) {
+    // next<!visited,replace> = frontier ⊕.⊗ A
+    grb::Vector<Bool> next(n);
+    grb::vxm(next, &visited, grb::NoAccum{}, sr, frontier, adj, not_visited);
+    if (next.nvals() == 0) break;
+    for (const Index v : next.indices()) {
+      level[v] = depth;
+    }
+    // visited |= next
+    grb::eWiseAdd(visited, grb::LOr<Bool>{}, visited, next);
+    frontier = std::move(next);
+  }
+  return level;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,22 @@
+// Level-synchronous BFS in the language of linear algebra (the canonical
+// GraphBLAS algorithm): the frontier is a sparse boolean vector, expanded
+// with vxm over the lor_land semiring under the complemented visited mask.
+// Not used by the case-study queries directly; exercised by tests and the
+// community_watch example as additional library surface.
+#pragma once
+
+#include <vector>
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+
+/// BFS levels from `source`: level[source] = 0, unreachable = -1 (stored as
+/// Index max). Matrix is interpreted as directed (row -> col edges).
+std::vector<grb::Index> bfs_levels(const grb::Matrix<grb::Bool>& adj,
+                                   grb::Index source);
+
+/// Sentinel for unreachable vertices.
+inline constexpr grb::Index kUnreachable = static_cast<grb::Index>(-1);
+
+}  // namespace lagraph

@@ -1,0 +1,36 @@
+#include "lagraph/cc_bfs.hpp"
+
+namespace lagraph {
+
+using grb::Index;
+
+std::vector<Index> cc_bfs(const grb::Matrix<grb::Bool>& adj) {
+  if (adj.nrows() != adj.ncols()) {
+    throw grb::DimensionMismatch("cc_bfs: adjacency must be square");
+  }
+  const Index n = adj.nrows();
+  constexpr Index kUnvisited = static_cast<Index>(-1);
+  std::vector<Index> label(n, kUnvisited);
+  std::vector<Index> queue;
+  queue.reserve(64);
+  for (Index start = 0; start < n; ++start) {
+    if (label[start] != kUnvisited) continue;
+    // `start` is the smallest id in its component because vertices are
+    // visited in increasing order.
+    label[start] = start;
+    queue.clear();
+    queue.push_back(start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Index u = queue[head];
+      for (const Index v : adj.row_cols(u)) {
+        if (label[v] == kUnvisited) {
+          label[v] = start;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace lagraph

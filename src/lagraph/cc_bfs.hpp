@@ -1,0 +1,16 @@
+// Breadth-first-search connected components: the simple O(V + E) labelling
+// used as (a) a correctness oracle for FastSV in the test suite and (b) the
+// non-GraphBLAS baseline in the CC ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+
+/// Labels each vertex with the smallest vertex id reachable from it.
+/// Same output contract as cc_fastsv.
+std::vector<grb::Index> cc_bfs(const grb::Matrix<grb::Bool>& adj);
+
+}  // namespace lagraph

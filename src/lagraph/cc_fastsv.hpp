@@ -1,0 +1,34 @@
+// FastSV connected components (Zhang, Azad, Hu — "FastSV: A distributed-
+// memory connected component algorithm with fast convergence", SIAM PP 2020)
+// over the grb engine, mirroring LAGraph's implementation structure: the
+// per-iteration neighborhood minimum is a grb::mxv over the min_second
+// semiring, and the hooking/shortcutting steps operate on the parent arrays.
+//
+// This is the algorithm the paper's Q2 calls in Step 3 to label the
+// connected components of each comment's induced friendship subgraph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+
+/// Computes connected components of an undirected graph given by a symmetric
+/// boolean adjacency matrix. Returns a dense label array: label[i] is the
+/// smallest vertex id in i's component. Isolated vertices label themselves.
+///
+/// Throws grb::DimensionMismatch if the matrix is not square. Symmetry is
+/// the caller's contract (the social graph stores friendships both ways);
+/// debug builds verify it.
+std::vector<grb::Index> cc_fastsv(const grb::Matrix<grb::Bool>& adj);
+
+/// Component statistics helper: given labels, returns the size of each
+/// distinct component (order unspecified).
+std::vector<grb::Index> component_sizes(const std::vector<grb::Index>& labels);
+
+/// Σ (component size)² — the Q2 scoring kernel.
+std::uint64_t sum_squared_component_sizes(const std::vector<grb::Index>& labels);
+
+}  // namespace lagraph

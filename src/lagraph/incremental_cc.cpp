@@ -1,0 +1,64 @@
+#include "lagraph/incremental_cc.hpp"
+
+#include <string>
+
+namespace lagraph {
+
+using grb::Index;
+
+void IncrementalCC::reset(Index n) {
+  parent_.resize(n);
+  size_.assign(n, 1);
+  for (Index i = 0; i < n; ++i) parent_[i] = i;
+  components_ = n;
+  sum_squares_ = n;  // n singletons, each contributing 1² = 1
+}
+
+Index IncrementalCC::add_node() {
+  const Index id = static_cast<Index>(parent_.size());
+  parent_.push_back(id);
+  size_.push_back(1);
+  ++components_;
+  sum_squares_ += 1;
+  return id;
+}
+
+Index IncrementalCC::find(Index a) {
+  check_bounds(a);
+  Index root = a;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[a] != root) {
+    const Index next = parent_[a];
+    parent_[a] = root;
+    a = next;
+  }
+  return root;
+}
+
+bool IncrementalCC::add_edge(Index a, Index b) {
+  Index ra = find(a);
+  Index rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  const std::uint64_t sa = size_[ra];
+  const std::uint64_t sb = size_[rb];
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --components_;
+  sum_squares_ += (sa + sb) * (sa + sb) - sa * sa - sb * sb;
+  return true;
+}
+
+bool IncrementalCC::connected(Index a, Index b) { return find(a) == find(b); }
+
+Index IncrementalCC::size_of(Index a) { return size_[find(a)]; }
+
+void IncrementalCC::check_bounds(Index a) const {
+  if (a >= parent_.size()) {
+    throw grb::IndexOutOfBounds("IncrementalCC: node " + std::to_string(a) +
+                                " >= " + std::to_string(parent_.size()));
+  }
+}
+
+}  // namespace lagraph

@@ -1,0 +1,69 @@
+#include "lagraph/kcore.hpp"
+
+#include <algorithm>
+
+namespace lagraph {
+
+using grb::Index;
+
+std::vector<Index> kcore(const grb::Matrix<grb::Bool>& adj) {
+  if (adj.nrows() != adj.ncols()) {
+    throw grb::DimensionMismatch("kcore: adjacency must be square");
+  }
+  const Index n = adj.nrows();
+  // Matula-Beck bucket peeling: O(V + E) with bucketed vertices by degree.
+  std::vector<Index> degree(n);
+  Index max_degree = 0;
+  for (Index i = 0; i < n; ++i) {
+    degree[i] = adj.row_degree(i);
+    max_degree = std::max(max_degree, degree[i]);
+  }
+  // bucket[d] holds vertices of current degree d; pos/vert are the usual
+  // in-place bucket-sort bookkeeping.
+  std::vector<Index> bucket_start(max_degree + 2, 0);
+  for (Index i = 0; i < n; ++i) ++bucket_start[degree[i] + 1];
+  for (Index d = 1; d < static_cast<Index>(bucket_start.size()); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<Index> vert(n), pos(n);
+  {
+    std::vector<Index> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (Index i = 0; i < n; ++i) {
+      pos[i] = cursor[degree[i]]++;
+      vert[pos[i]] = i;
+    }
+  }
+  std::vector<Index> core(n, 0);
+  std::vector<Index> bstart(bucket_start.begin(), bucket_start.end() - 1);
+  for (Index k = 0; k < n; ++k) {
+    const Index v = vert[k];
+    core[v] = degree[v];
+    // "Remove" v: decrement the degree of every not-yet-peeled neighbour,
+    // moving it one bucket down (swap with its bucket's first element).
+    for (const Index u : adj.row_cols(v)) {
+      if (degree[u] > degree[v]) {
+        const Index du = degree[u];
+        const Index pu = pos[u];
+        const Index pw = bstart[du];
+        const Index w = vert[pw];
+        if (u != w) {
+          std::swap(vert[pu], vert[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bstart[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+Index max_coreness(const grb::Matrix<grb::Bool>& adj) {
+  const auto core = kcore(adj);
+  Index best = 0;
+  for (const Index c : core) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,20 @@
+// k-core decomposition: the coreness of a vertex is the largest k such that
+// it belongs to a subgraph where every vertex has degree ≥ k. Peeling
+// algorithm over the grb adjacency structure (LAGraph ships this as
+// LAGraph_KCore). Used by the community_watch example as a robustness
+// measure for the friendship graph.
+#pragma once
+
+#include <vector>
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+
+/// Coreness of every vertex of an undirected graph (symmetric adjacency).
+std::vector<grb::Index> kcore(const grb::Matrix<grb::Bool>& adj);
+
+/// Largest coreness in the graph (0 for an empty graph).
+grb::Index max_coreness(const grb::Matrix<grb::Bool>& adj);
+
+}  // namespace lagraph

@@ -1,0 +1,29 @@
+// PageRank in the language of linear algebra (LAGraph's LAGr_PageRank
+// profile): power iteration r' = (1-d)/n + d·(Aᵀ r ⊘ outdeg), with dangling
+// vertices redistributing their mass uniformly. Not used by the case-study
+// queries; part of the algorithm collection exercised by the examples and
+// tests (the paper positions its solution inside the LAGraph ecosystem).
+#pragma once
+
+#include <vector>
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-7;  // L1 change per iteration
+  int max_iterations = 100;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;  // dense, sums to ~1
+  int iterations = 0;
+};
+
+/// Computes PageRank of a directed graph (row -> col edges).
+PageRankResult pagerank(const grb::Matrix<grb::Bool>& adj,
+                        const PageRankOptions& options = {});
+
+}  // namespace lagraph

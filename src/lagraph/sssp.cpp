@@ -1,0 +1,47 @@
+#include "lagraph/sssp.hpp"
+
+namespace lagraph {
+
+using grb::Index;
+using U64 = std::uint64_t;
+
+std::vector<U64> sssp(const grb::Matrix<U64>& weights, Index source) {
+  if (weights.nrows() != weights.ncols()) {
+    throw grb::DimensionMismatch("sssp: weight matrix must be square");
+  }
+  const Index n = weights.nrows();
+  if (source >= n) {
+    throw grb::IndexOutOfBounds("sssp: source " + std::to_string(source));
+  }
+  std::vector<U64> dist(n, kInfDistance);
+  dist[source] = 0;
+
+  // Sparse frontier of vertices whose distance improved last round.
+  grb::Vector<U64> frontier = grb::Vector<U64>::build(n, {source}, {U64{0}});
+  const auto min_plus =
+      grb::Semiring<grb::Monoid<U64, grb::Min<U64>>, grb::Plus<U64>>{
+          grb::min_monoid<U64>(), grb::Plus<U64>{}};
+
+  for (Index round = 0; round < n && frontier.nvals() > 0; ++round) {
+    // relaxed = frontierᵀ min.+ W : candidate distances through the frontier.
+    grb::Vector<U64> relaxed(n);
+    grb::vxm(relaxed, min_plus, frontier, weights);
+    // Keep strict improvements as the next frontier.
+    std::vector<Index> imp_idx;
+    std::vector<U64> imp_val;
+    const auto ri = relaxed.indices();
+    const auto rv = relaxed.values();
+    for (std::size_t k = 0; k < ri.size(); ++k) {
+      if (rv[k] < dist[ri[k]]) {
+        dist[ri[k]] = rv[k];
+        imp_idx.push_back(ri[k]);
+        imp_val.push_back(rv[k]);
+      }
+    }
+    frontier = grb::Vector<U64>::adopt_sorted(n, std::move(imp_idx),
+                                              std::move(imp_val));
+  }
+  return dist;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,24 @@
+// Single-source shortest paths over the min_plus (tropical) semiring:
+// Bellman-Ford style label correcting with sparse frontiers, the canonical
+// GraphBLAS SSSP (LAGraph's LAGr_SingleSourceShortestPath profile).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+
+/// Distance assigned to unreachable vertices.
+inline constexpr std::uint64_t kInfDistance =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Shortest path distances from `source` over non-negative integer edge
+/// weights (row -> col edges). Throws on non-square input or a source out
+/// of range.
+std::vector<std::uint64_t> sssp(const grb::Matrix<std::uint64_t>& weights,
+                                grb::Index source);
+
+}  // namespace lagraph

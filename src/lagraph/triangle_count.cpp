@@ -1,0 +1,29 @@
+#include "lagraph/triangle_count.hpp"
+
+namespace lagraph {
+
+using grb::Bool;
+using grb::Index;
+using U64 = std::uint64_t;
+
+std::uint64_t triangle_count(const grb::Matrix<Bool>& adj) {
+  if (adj.nrows() != adj.ncols()) {
+    throw grb::DimensionMismatch("triangle_count: adjacency must be square");
+  }
+  // L: strictly lower triangular part — each undirected edge once.
+  grb::Matrix<Bool> lower(adj.nrows(), adj.ncols());
+  grb::select(lower, grb::StrictLower<Bool>{}, adj);
+
+  // C<L> = L ⊕.⊗ Lᵀ over plus_pair: C(i,j) counts common lower-neighbours
+  // of the edge (i,j); summing gives each triangle exactly once.
+  // Multiplying by Lᵀ means taking rows of L against rows of L — our mxm
+  // consumes CSR rows of the second operand, so pass transposed(L).
+  grb::Matrix<U64> closed(adj.nrows(), adj.ncols());
+  grb::Descriptor structural;
+  structural.structural_mask = true;
+  grb::mxm(closed, &lower, grb::NoAccum{}, grb::plus_pair_semiring<U64>(),
+           lower, grb::transposed(lower), structural);
+  return grb::reduce_scalar<U64>(grb::plus_monoid<U64>(), closed);
+}
+
+}  // namespace lagraph

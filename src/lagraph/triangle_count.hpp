@@ -1,0 +1,17 @@
+// Triangle counting via masked sparse matrix multiply (the "Sandia"
+// formulation LAGraph ships): count wedges closed by an edge using
+// C<L> = L ⊕.⊗ Lᵀ on the strictly-lower-triangular part L, then reduce.
+// Demonstrates masks + semirings beyond the case-study queries.
+#pragma once
+
+#include <cstdint>
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+
+/// Number of triangles in an undirected graph given by a symmetric boolean
+/// adjacency matrix (no self loops expected; they are ignored).
+std::uint64_t triangle_count(const grb::Matrix<grb::Bool>& adj);
+
+}  // namespace lagraph

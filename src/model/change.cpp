@@ -1,0 +1,49 @@
+#include "model/change.hpp"
+
+namespace sm {
+
+void apply_change_set(SocialGraph& g, const ChangeSet& cs) {
+  for (const ChangeOp& op : cs.ops) {
+    std::visit(
+        [&g](const auto& o) {
+          using T = std::decay_t<decltype(o)>;
+          if constexpr (std::is_same_v<T, AddUser>) {
+            g.add_user(o.id);
+          } else if constexpr (std::is_same_v<T, AddPost>) {
+            g.add_post(o.id, o.timestamp);
+          } else if constexpr (std::is_same_v<T, AddComment>) {
+            g.add_comment(o.id, o.timestamp, o.parent_is_comment, o.parent);
+          } else if constexpr (std::is_same_v<T, AddLikes>) {
+            g.add_likes(o.user, o.comment);
+          } else if constexpr (std::is_same_v<T, AddFriendship>) {
+            g.add_friendship(o.a, o.b);
+          } else if constexpr (std::is_same_v<T, RemoveLikes>) {
+            g.remove_likes(o.user, o.comment);
+          } else {
+            static_assert(std::is_same_v<T, RemoveFriendship>);
+            g.remove_friendship(o.a, o.b);
+          }
+        },
+        op);
+  }
+}
+
+bool has_removals(const ChangeSet& cs) {
+  for (const ChangeOp& op : cs.ops) {
+    if (std::holds_alternative<RemoveLikes>(op) ||
+        std::holds_alternative<RemoveFriendship>(op)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t total_inserts(const std::vector<ChangeSet>& sets) {
+  std::size_t n = 0;
+  for (const auto& cs : sets) {
+    n += cs.size();
+  }
+  return n;
+}
+
+}  // namespace sm

@@ -1,0 +1,94 @@
+// Change model for the update phase. The contest's change sequences are
+// insert-only (the paper's future work mentions removals); a ChangeSet is an
+// ordered list of element insertions that is applied atomically between two
+// query evaluations.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "model/social_graph.hpp"
+
+namespace sm {
+
+struct AddUser {
+  NodeId id = 0;
+
+  friend bool operator==(const AddUser&, const AddUser&) = default;
+};
+
+struct AddPost {
+  NodeId id = 0;
+  Timestamp timestamp = 0;
+  NodeId submitter = 0;  // informative; queries do not use it
+
+  friend bool operator==(const AddPost&, const AddPost&) = default;
+};
+
+struct AddComment {
+  NodeId id = 0;
+  Timestamp timestamp = 0;
+  bool parent_is_comment = false;
+  NodeId parent = 0;
+  NodeId submitter = 0;
+
+  friend bool operator==(const AddComment&, const AddComment&) = default;
+};
+
+struct AddLikes {
+  NodeId user = 0;
+  NodeId comment = 0;
+
+  friend bool operator==(const AddLikes&, const AddLikes&) = default;
+};
+
+struct AddFriendship {
+  NodeId a = 0;
+  NodeId b = 0;
+
+  friend bool operator==(const AddFriendship&, const AddFriendship&) = default;
+};
+
+/// Edge removals — the paper's future-work item (1) ("more realistic update
+/// operations, including both insertions and removals"). Node removals are
+/// out of scope (the case study never frees entities); removing a likes or
+/// friends edge is what changes query results.
+struct RemoveLikes {
+  NodeId user = 0;
+  NodeId comment = 0;
+
+  friend bool operator==(const RemoveLikes&, const RemoveLikes&) = default;
+};
+
+struct RemoveFriendship {
+  NodeId a = 0;
+  NodeId b = 0;
+
+  friend bool operator==(const RemoveFriendship&,
+                         const RemoveFriendship&) = default;
+};
+
+using ChangeOp = std::variant<AddUser, AddPost, AddComment, AddLikes,
+                              AddFriendship, RemoveLikes, RemoveFriendship>;
+
+/// One batch of insertions applied between two reevaluations.
+struct ChangeSet {
+  std::vector<ChangeOp> ops;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops.empty(); }
+};
+
+/// Applies every operation of `cs` to `g`, in order. Duplicate likes /
+/// friendships are tolerated (no-ops), mirroring the reference framework.
+void apply_change_set(SocialGraph& g, const ChangeSet& cs);
+
+/// True if the set contains any Remove* operation (engines use this to pick
+/// the monotone merge-only top-k fast path when the stream is insert-only).
+bool has_removals(const ChangeSet& cs);
+
+/// Total number of element insertions across all change sets (the
+/// "#inserts" column of Table II).
+std::size_t total_inserts(const std::vector<ChangeSet>& sets);
+
+}  // namespace sm

@@ -1,0 +1,225 @@
+#include "model/io.hpp"
+
+#include <filesystem>
+
+#include "support/csv.hpp"
+
+namespace sm {
+
+namespace fs = std::filesystem;
+using grbsm::support::CsvReader;
+using grbsm::support::CsvWriter;
+using grbsm::support::parse_i64;
+using grbsm::support::parse_u64;
+
+namespace {
+
+void expect_fields(const std::vector<std::string>& fields, std::size_t n,
+                   const char* what) {
+  if (fields.size() != n) {
+    throw grb::InvalidValue(std::string("malformed ") + what + " record: " +
+                            std::to_string(fields.size()) + " fields, want " +
+                            std::to_string(n));
+  }
+}
+
+bool parse_parent_kind(const std::string& s) {
+  if (s == "C") return true;
+  if (s == "P") return false;
+  throw grb::InvalidValue("parent kind must be P or C, got '" + s + "'");
+}
+
+std::string change_file(const std::string& dir, std::size_t n) {
+  char name[32];
+  std::snprintf(name, sizeof name, "change%02zu.csv", n);
+  return (fs::path(dir) / name).string();
+}
+
+}  // namespace
+
+SocialGraph load_initial(const std::string& dir) {
+  SocialGraph g;
+  std::vector<std::string> f;
+  {
+    CsvReader users((fs::path(dir) / "users.csv").string());
+    while (users.next(f)) {
+      expect_fields(f, 1, "user");
+      g.add_user(parse_u64(f[0]));
+    }
+  }
+  if (fs::exists(fs::path(dir) / "posts.csv")) {
+    CsvReader posts((fs::path(dir) / "posts.csv").string());
+    while (posts.next(f)) {
+      expect_fields(f, 3, "post");
+      g.add_post(parse_u64(f[0]), parse_i64(f[1]));
+    }
+  }
+  if (fs::exists(fs::path(dir) / "comments.csv")) {
+    CsvReader comments((fs::path(dir) / "comments.csv").string());
+    while (comments.next(f)) {
+      expect_fields(f, 5, "comment");
+      g.add_comment(parse_u64(f[0]), parse_i64(f[1]), parse_parent_kind(f[2]),
+                    parse_u64(f[3]));
+    }
+  }
+  if (fs::exists(fs::path(dir) / "friends.csv")) {
+    CsvReader friends((fs::path(dir) / "friends.csv").string());
+    while (friends.next(f)) {
+      expect_fields(f, 2, "friendship");
+      g.add_friendship(parse_u64(f[0]), parse_u64(f[1]));
+    }
+  }
+  if (fs::exists(fs::path(dir) / "likes.csv")) {
+    CsvReader likes((fs::path(dir) / "likes.csv").string());
+    while (likes.next(f)) {
+      expect_fields(f, 2, "likes");
+      g.add_likes(parse_u64(f[0]), parse_u64(f[1]));
+    }
+  }
+  return g;
+}
+
+ChangeOp parse_change_record(const std::vector<std::string>& fields) {
+  if (fields.empty()) {
+    throw grb::InvalidValue("empty change record");
+  }
+  const std::string& kind = fields[0];
+  if (kind == "U") {
+    expect_fields(fields, 2, "AddUser");
+    return AddUser{parse_u64(fields[1])};
+  }
+  if (kind == "P") {
+    expect_fields(fields, 4, "AddPost");
+    return AddPost{parse_u64(fields[1]), parse_i64(fields[2]),
+                   parse_u64(fields[3])};
+  }
+  if (kind == "C") {
+    expect_fields(fields, 6, "AddComment");
+    return AddComment{parse_u64(fields[1]), parse_i64(fields[2]),
+                      parse_parent_kind(fields[3]), parse_u64(fields[4]),
+                      parse_u64(fields[5])};
+  }
+  if (kind == "L") {
+    expect_fields(fields, 3, "AddLikes");
+    return AddLikes{parse_u64(fields[1]), parse_u64(fields[2])};
+  }
+  if (kind == "F") {
+    expect_fields(fields, 3, "AddFriendship");
+    return AddFriendship{parse_u64(fields[1]), parse_u64(fields[2])};
+  }
+  if (kind == "RL") {
+    expect_fields(fields, 3, "RemoveLikes");
+    return RemoveLikes{parse_u64(fields[1]), parse_u64(fields[2])};
+  }
+  if (kind == "RF") {
+    expect_fields(fields, 3, "RemoveFriendship");
+    return RemoveFriendship{parse_u64(fields[1]), parse_u64(fields[2])};
+  }
+  throw grb::InvalidValue("unknown change kind '" + kind + "'");
+}
+
+std::vector<std::string> change_record_fields(const ChangeOp& op) {
+  return std::visit(
+      [](const auto& o) -> std::vector<std::string> {
+        using T = std::decay_t<decltype(o)>;
+        if constexpr (std::is_same_v<T, AddUser>) {
+          return {"U", std::to_string(o.id)};
+        } else if constexpr (std::is_same_v<T, AddPost>) {
+          return {"P", std::to_string(o.id), std::to_string(o.timestamp),
+                  std::to_string(o.submitter)};
+        } else if constexpr (std::is_same_v<T, AddComment>) {
+          return {"C",
+                  std::to_string(o.id),
+                  std::to_string(o.timestamp),
+                  o.parent_is_comment ? "C" : "P",
+                  std::to_string(o.parent),
+                  std::to_string(o.submitter)};
+        } else if constexpr (std::is_same_v<T, AddLikes>) {
+          return {"L", std::to_string(o.user), std::to_string(o.comment)};
+        } else if constexpr (std::is_same_v<T, AddFriendship>) {
+          return {"F", std::to_string(o.a), std::to_string(o.b)};
+        } else if constexpr (std::is_same_v<T, RemoveLikes>) {
+          return {"RL", std::to_string(o.user), std::to_string(o.comment)};
+        } else {
+          static_assert(std::is_same_v<T, RemoveFriendship>);
+          return {"RF", std::to_string(o.a), std::to_string(o.b)};
+        }
+      },
+      op);
+}
+
+std::vector<ChangeSet> load_change_sets(const std::string& dir) {
+  std::vector<ChangeSet> sets;
+  std::vector<std::string> f;
+  for (std::size_t n = 1;; ++n) {
+    const std::string path = change_file(dir, n);
+    if (!fs::exists(path)) break;
+    ChangeSet cs;
+    CsvReader reader(path);
+    while (reader.next(f)) {
+      cs.ops.push_back(parse_change_record(f));
+    }
+    sets.push_back(std::move(cs));
+  }
+  return sets;
+}
+
+void save_initial(const SocialGraph& g, const std::string& dir) {
+  fs::create_directories(dir);
+  {
+    CsvWriter w((fs::path(dir) / "users.csv").string());
+    for (const auto& u : g.users()) {
+      w.write_record({std::to_string(u.id)});
+    }
+  }
+  {
+    CsvWriter w((fs::path(dir) / "posts.csv").string());
+    for (const auto& p : g.posts()) {
+      w.write_record({std::to_string(p.id), std::to_string(p.timestamp),
+                      "0"});
+    }
+  }
+  {
+    CsvWriter w((fs::path(dir) / "comments.csv").string());
+    for (const auto& c : g.comments()) {
+      const NodeId parent_id = c.parent_is_comment
+                                   ? g.comment(c.parent).id
+                                   : g.post(c.parent).id;
+      w.write_record({std::to_string(c.id), std::to_string(c.timestamp),
+                      c.parent_is_comment ? "C" : "P",
+                      std::to_string(parent_id), "0"});
+    }
+  }
+  {
+    CsvWriter w((fs::path(dir) / "friends.csv").string());
+    for (const auto& u : g.users()) {
+      for (const DenseId f2 : u.friends) {
+        const auto& other = g.user(f2);
+        if (u.id < other.id) {
+          w.write_record({std::to_string(u.id), std::to_string(other.id)});
+        }
+      }
+    }
+  }
+  {
+    CsvWriter w((fs::path(dir) / "likes.csv").string());
+    for (const auto& c : g.comments()) {
+      for (const DenseId u : c.likers) {
+        w.write_record({std::to_string(g.user(u).id), std::to_string(c.id)});
+      }
+    }
+  }
+}
+
+void save_change_sets(const std::vector<ChangeSet>& sets,
+                      const std::string& dir) {
+  fs::create_directories(dir);
+  for (std::size_t n = 0; n < sets.size(); ++n) {
+    CsvWriter w(change_file(dir, n + 1));
+    for (const ChangeOp& op : sets[n].ops) {
+      w.write_record(change_record_fields(op));
+    }
+  }
+}
+
+}  // namespace sm

@@ -1,0 +1,46 @@
+// Dataset serialization in a TTC-style layout: a dataset directory holds the
+// initial graph as '|'-separated CSV files plus a numbered sequence of
+// change files, mirroring how the contest shipped its LDBC exports.
+//
+//   <dir>/users.csv      id
+//   <dir>/posts.csv      id|timestamp|submitter
+//   <dir>/comments.csv   id|timestamp|parentKind(P or C)|parentId|submitter
+//   <dir>/friends.csv    userA|userB          (one line per pair)
+//   <dir>/likes.csv      user|comment
+//   <dir>/change01.csv.. one op per line:
+//       U|id
+//       P|id|timestamp|submitter
+//       C|id|timestamp|parentKind|parentId|submitter
+//       L|user|comment
+//       F|userA|userB
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/change.hpp"
+#include "model/social_graph.hpp"
+
+namespace sm {
+
+/// Loads the initial graph from a dataset directory. Missing files are
+/// treated as empty except users.csv, which must exist.
+SocialGraph load_initial(const std::string& dir);
+
+/// Loads change01.csv, change02.csv, ... until the first missing file.
+std::vector<ChangeSet> load_change_sets(const std::string& dir);
+
+/// Writes the initial graph (creates/overwrites the CSV files).
+void save_initial(const SocialGraph& g, const std::string& dir);
+
+/// Writes the change sequence as changeNN.csv files.
+void save_change_sets(const std::vector<ChangeSet>& sets,
+                      const std::string& dir);
+
+/// Parses a single change-op record (exposed for tests).
+ChangeOp parse_change_record(const std::vector<std::string>& fields);
+
+/// Serialises a single change op to CSV fields (exposed for tests).
+std::vector<std::string> change_record_fields(const ChangeOp& op);
+
+}  // namespace sm

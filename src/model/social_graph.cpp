@@ -1,0 +1,157 @@
+#include "model/social_graph.hpp"
+
+#include <algorithm>
+
+namespace sm {
+
+namespace {
+[[noreturn]] void fail(const std::string& what, NodeId id) {
+  throw grb::InvalidValue(what + " (id " + std::to_string(id) + ")");
+}
+}  // namespace
+
+DenseId SocialGraph::add_user(NodeId id) {
+  const DenseId dense = static_cast<DenseId>(users_.size());
+  const auto [_, inserted] = user_index_.emplace(id, dense);
+  if (!inserted) fail("duplicate user", id);
+  users_.push_back(User{.id = id, .friends = {}, .liked_comments = {}});
+  return dense;
+}
+
+DenseId SocialGraph::add_post(NodeId id, Timestamp ts) {
+  const DenseId dense = static_cast<DenseId>(posts_.size());
+  const auto [_, inserted] = post_index_.emplace(id, dense);
+  if (!inserted) fail("duplicate post", id);
+  posts_.push_back(Post{.id = id, .timestamp = ts, .comments = {}});
+  return dense;
+}
+
+DenseId SocialGraph::add_comment(NodeId id, Timestamp ts,
+                                 bool parent_is_comment, NodeId parent) {
+  const DenseId dense = static_cast<DenseId>(comments_.size());
+  Comment c;
+  c.id = id;
+  c.timestamp = ts;
+  c.parent_is_comment = parent_is_comment;
+  if (parent_is_comment) {
+    c.parent = require_comment(parent);
+    c.root_post = comments_[c.parent].root_post;
+  } else {
+    c.parent = require_post(parent);
+    c.root_post = c.parent;
+  }
+  const auto [_, inserted] = comment_index_.emplace(id, dense);
+  if (!inserted) fail("duplicate comment", id);
+  posts_[c.root_post].comments.push_back(dense);
+  comments_.push_back(std::move(c));
+  return dense;
+}
+
+bool SocialGraph::add_likes(NodeId user, NodeId comment) {
+  const DenseId u = require_user(user);
+  const DenseId c = require_comment(comment);
+  auto& likers = comments_[c].likers;
+  if (std::find(likers.begin(), likers.end(), u) != likers.end()) {
+    return false;
+  }
+  likers.push_back(u);
+  users_[u].liked_comments.push_back(c);
+  ++likes_count_;
+  return true;
+}
+
+bool SocialGraph::add_friendship(NodeId a, NodeId b) {
+  if (a == b) fail("self-friendship", a);
+  const DenseId da = require_user(a);
+  const DenseId db = require_user(b);
+  auto& fa = users_[da].friends;
+  if (std::find(fa.begin(), fa.end(), db) != fa.end()) {
+    return false;
+  }
+  fa.push_back(db);
+  users_[db].friends.push_back(da);
+  ++friendship_count_;
+  return true;
+}
+
+namespace {
+/// Erases the first occurrence of `value` from `xs`; returns true if found.
+bool erase_value(std::vector<DenseId>& xs, DenseId value) {
+  const auto it = std::find(xs.begin(), xs.end(), value);
+  if (it == xs.end()) return false;
+  xs.erase(it);
+  return true;
+}
+}  // namespace
+
+bool SocialGraph::remove_likes(NodeId user, NodeId comment) {
+  const DenseId u = require_user(user);
+  const DenseId c = require_comment(comment);
+  if (!erase_value(comments_[c].likers, u)) return false;
+  erase_value(users_[u].liked_comments, c);
+  --likes_count_;
+  return true;
+}
+
+bool SocialGraph::remove_friendship(NodeId a, NodeId b) {
+  const DenseId da = require_user(a);
+  const DenseId db = require_user(b);
+  if (!erase_value(users_[da].friends, db)) return false;
+  erase_value(users_[db].friends, da);
+  --friendship_count_;
+  return true;
+}
+
+std::optional<DenseId> SocialGraph::find_user(NodeId id) const {
+  const auto it = user_index_.find(id);
+  if (it == user_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<DenseId> SocialGraph::find_post(NodeId id) const {
+  const auto it = post_index_.find(id);
+  if (it == post_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<DenseId> SocialGraph::find_comment(NodeId id) const {
+  const auto it = comment_index_.find(id);
+  if (it == comment_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+DenseId SocialGraph::require_user(NodeId id) const {
+  const auto d = find_user(id);
+  if (!d) fail("unknown user", id);
+  return *d;
+}
+
+DenseId SocialGraph::require_post(NodeId id) const {
+  const auto d = find_post(id);
+  if (!d) fail("unknown post", id);
+  return *d;
+}
+
+DenseId SocialGraph::require_comment(NodeId id) const {
+  const auto d = find_comment(id);
+  if (!d) fail("unknown comment", id);
+  return *d;
+}
+
+bool SocialGraph::has_friendship(NodeId a, NodeId b) const {
+  const auto da = find_user(a);
+  const auto db = find_user(b);
+  if (!da || !db) return false;
+  const auto& fa = users_[*da].friends;
+  return std::find(fa.begin(), fa.end(), *db) != fa.end();
+}
+
+bool SocialGraph::has_likes(NodeId user, NodeId comment) const {
+  const auto u = find_user(user);
+  const auto c = find_comment(comment);
+  if (!u || !c) return false;
+  const auto& likers = comments_[*c].likers;
+  return std::find(likers.begin(), likers.end(), *u) != likers.end();
+}
+
+}  // namespace sm

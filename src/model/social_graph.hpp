@@ -1,0 +1,152 @@
+// The TTC 2018 "Social Media" data model (schema after Fig. 1 of the paper,
+// derived from the LDBC Social Network Benchmark): Users submit Submissions;
+// a Submission is either a Post (tree root) or a Comment (child of a Post or
+// another Comment, with a direct rootPost pointer for O(1) lookups); Users
+// like Comments and form undirected friendships.
+//
+// This container is the neutral, engine-independent representation: the
+// GraphBLAS engines derive matrices from it, the NMF baseline walks it
+// directly, and the loader/generator produce it. Entities carry external
+// ids (arbitrary uint64, as in the contest's CSVs) mapped to dense indices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "grb/types.hpp"
+
+namespace sm {
+
+/// External entity identifier (as appearing in the dataset files).
+using NodeId = std::uint64_t;
+/// Dense internal index, assigned in arrival order per entity class.
+using DenseId = grb::Index;
+/// Milliseconds since epoch, following the LDBC exports.
+using Timestamp = std::int64_t;
+
+struct Post {
+  NodeId id = 0;
+  Timestamp timestamp = 0;
+  /// Comments anywhere below this post, in arrival order (dense comment ids).
+  std::vector<DenseId> comments;
+};
+
+struct Comment {
+  NodeId id = 0;
+  Timestamp timestamp = 0;
+  /// Dense id of the root post (every comment belongs to exactly one).
+  DenseId root_post = 0;
+  /// Dense id of the parent submission: {true, idx} = parent is a comment,
+  /// {false, idx} = parent is a post.
+  bool parent_is_comment = false;
+  DenseId parent = 0;
+  /// Users who like this comment, in arrival order (dense user ids).
+  std::vector<DenseId> likers;
+};
+
+struct User {
+  NodeId id = 0;
+  /// Friends in arrival order (dense user ids); friendship is symmetric and
+  /// stored on both endpoints.
+  std::vector<DenseId> friends;
+  /// Comments this user likes (dense comment ids).
+  std::vector<DenseId> liked_comments;
+};
+
+class SocialGraph {
+ public:
+  // --- mutation (used by the loader, the generator and apply_change) -------
+
+  /// Adds a user with the given external id; returns its dense id.
+  /// Throws grb::InvalidValue if the id already exists.
+  DenseId add_user(NodeId id);
+
+  /// Adds a post; returns its dense id.
+  DenseId add_post(NodeId id, Timestamp ts);
+
+  /// Adds a comment under `parent` (post if parent_is_comment is false).
+  /// The root post is resolved internally and the comment is registered in
+  /// the root post's comment list. Returns the dense id.
+  DenseId add_comment(NodeId id, Timestamp ts, bool parent_is_comment,
+                      NodeId parent);
+
+  /// Records "user likes comment". Duplicate likes are ignored (the model
+  /// is a set of edges). Returns true if the edge was new.
+  bool add_likes(NodeId user, NodeId comment);
+
+  /// Records an undirected friendship. Self-friendship is rejected with
+  /// grb::InvalidValue; duplicates are ignored. Returns true if new.
+  bool add_friendship(NodeId a, NodeId b);
+
+  /// Removes a like edge if present; returns true if something was removed.
+  /// Unknown entities throw grb::InvalidValue (a removal must reference
+  /// things that exist, even when the edge itself is already gone).
+  bool remove_likes(NodeId user, NodeId comment);
+
+  /// Removes a friendship (both directions); returns true if removed.
+  bool remove_friendship(NodeId a, NodeId b);
+
+  // --- lookups --------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_users() const noexcept { return users_.size(); }
+  [[nodiscard]] std::size_t num_posts() const noexcept { return posts_.size(); }
+  [[nodiscard]] std::size_t num_comments() const noexcept {
+    return comments_.size();
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return num_users() + num_posts() + num_comments();
+  }
+  /// Total edge count: friendships (counted once per pair) + likes +
+  /// commented + rootPost edges, matching the accounting of Table II.
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return friendship_count_ + likes_count_ + 2 * comments_.size();
+  }
+  [[nodiscard]] std::size_t num_friendships() const noexcept {
+    return friendship_count_;
+  }
+  [[nodiscard]] std::size_t num_likes() const noexcept { return likes_count_; }
+
+  [[nodiscard]] const Post& post(DenseId i) const { return posts_.at(i); }
+  [[nodiscard]] const Comment& comment(DenseId i) const {
+    return comments_.at(i);
+  }
+  [[nodiscard]] const User& user(DenseId i) const { return users_.at(i); }
+
+  [[nodiscard]] const std::vector<Post>& posts() const noexcept {
+    return posts_;
+  }
+  [[nodiscard]] const std::vector<Comment>& comments() const noexcept {
+    return comments_;
+  }
+  [[nodiscard]] const std::vector<User>& users() const noexcept {
+    return users_;
+  }
+
+  [[nodiscard]] std::optional<DenseId> find_user(NodeId id) const;
+  [[nodiscard]] std::optional<DenseId> find_post(NodeId id) const;
+  [[nodiscard]] std::optional<DenseId> find_comment(NodeId id) const;
+
+  /// Lookup that throws grb::InvalidValue with a context message — loaders
+  /// use these so malformed datasets fail loudly.
+  [[nodiscard]] DenseId require_user(NodeId id) const;
+  [[nodiscard]] DenseId require_post(NodeId id) const;
+  [[nodiscard]] DenseId require_comment(NodeId id) const;
+
+  [[nodiscard]] bool has_friendship(NodeId a, NodeId b) const;
+  [[nodiscard]] bool has_likes(NodeId user, NodeId comment) const;
+
+ private:
+  std::vector<Post> posts_;
+  std::vector<Comment> comments_;
+  std::vector<User> users_;
+  std::unordered_map<NodeId, DenseId> post_index_;
+  std::unordered_map<NodeId, DenseId> comment_index_;
+  std::unordered_map<NodeId, DenseId> user_index_;
+  std::size_t friendship_count_ = 0;
+  std::size_t likes_count_ = 0;
+};
+
+}  // namespace sm

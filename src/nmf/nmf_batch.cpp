@@ -1,0 +1,95 @@
+#include "nmf/nmf_batch.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nmf {
+
+using queries::Ranked;
+using queries::TopK;
+using sm::DenseId;
+
+std::uint64_t q1_score_of_post(const sm::SocialGraph& g, DenseId post) {
+  const auto& p = g.post(post);
+  std::uint64_t score = 10 * static_cast<std::uint64_t>(p.comments.size());
+  for (const DenseId c : p.comments) {
+    score += static_cast<std::uint64_t>(g.comment(c).likers.size());
+  }
+  return score;
+}
+
+std::uint64_t q2_score_of_comment(const sm::SocialGraph& g, DenseId comment) {
+  const auto& likers = g.comment(comment).likers;
+  if (likers.empty()) return 0;
+  // BFS over the friendship graph restricted to the fan set.
+  std::unordered_map<DenseId, bool> in_set_visited;  // user -> visited?
+  in_set_visited.reserve(likers.size() * 2);
+  for (const DenseId u : likers) {
+    in_set_visited.emplace(u, false);
+  }
+  std::uint64_t score = 0;
+  std::vector<DenseId> stack;
+  for (const DenseId start : likers) {
+    if (in_set_visited[start]) continue;
+    std::uint64_t size = 0;
+    stack.assign(1, start);
+    in_set_visited[start] = true;
+    while (!stack.empty()) {
+      const DenseId u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const DenseId f : g.user(u).friends) {
+        const auto it = in_set_visited.find(f);
+        if (it != in_set_visited.end() && !it->second) {
+          it->second = true;
+          stack.push_back(f);
+        }
+      }
+    }
+    score += size * size;
+  }
+  return score;
+}
+
+TopK q1_full_scan(const sm::SocialGraph& g) {
+  TopK top(3);
+  for (DenseId i = 0; i < g.num_posts(); ++i) {
+    const auto& p = g.post(i);
+    const Ranked r{p.id, q1_score_of_post(g, i), p.timestamp};
+    if (top.entries().size() < top.k() ||
+        queries::ranks_before(r, top.entries().back())) {
+      top.offer(r);
+    }
+  }
+  return top;
+}
+
+TopK q2_full_scan(const sm::SocialGraph& g) {
+  TopK top(3);
+  for (DenseId i = 0; i < g.num_comments(); ++i) {
+    const auto& c = g.comment(i);
+    const Ranked r{c.id, q2_score_of_comment(g, i), c.timestamp};
+    if (top.entries().size() < top.k() ||
+        queries::ranks_before(r, top.entries().back())) {
+      top.offer(r);
+    }
+  }
+  return top;
+}
+
+void NmfBatchEngine::load(const sm::SocialGraph& g) { graph_ = g; }
+
+std::string NmfBatchEngine::evaluate() const {
+  return (query_ == harness::Query::kQ1 ? q1_full_scan(graph_)
+                                        : q2_full_scan(graph_))
+      .answer();
+}
+
+std::string NmfBatchEngine::initial() { return evaluate(); }
+
+std::string NmfBatchEngine::update(const sm::ChangeSet& cs) {
+  sm::apply_change_set(graph_, cs);
+  return evaluate();
+}
+
+}  // namespace nmf

@@ -1,0 +1,45 @@
+// C++ port of the contest's reference solution profile: "NMF Batch". The
+// original is written against the .NET Modeling Framework and reevaluates
+// the full query by traversing the object model on every step. This port
+// keeps exactly that execution profile — an in-memory object graph
+// (sm::SocialGraph), full traversal per evaluation, no caching — so the
+// batch-vs-incremental and NMF-vs-GraphBLAS comparisons of Fig. 5 have a
+// faithful baseline. (Substitution note: the .NET runtime constant factor is
+// not reproduced; see DESIGN.md §4.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/engine.hpp"
+#include "queries/top_k.hpp"
+
+namespace nmf {
+
+/// Pure functions over the model — shared with tests and the incremental
+/// engine's initial evaluation.
+std::uint64_t q1_score_of_post(const sm::SocialGraph& g, sm::DenseId post);
+std::uint64_t q2_score_of_comment(const sm::SocialGraph& g,
+                                  sm::DenseId comment);
+
+/// Full-scan answers (traverse every post / comment).
+queries::TopK q1_full_scan(const sm::SocialGraph& g);
+queries::TopK q2_full_scan(const sm::SocialGraph& g);
+
+class NmfBatchEngine final : public harness::Engine {
+ public:
+  explicit NmfBatchEngine(harness::Query q) : query_(q) {}
+
+  [[nodiscard]] std::string name() const override { return "NMF Batch"; }
+  void load(const sm::SocialGraph& g) override;
+  std::string initial() override;
+  std::string update(const sm::ChangeSet& cs) override;
+
+ private:
+  std::string evaluate() const;
+
+  harness::Query query_;
+  sm::SocialGraph graph_;
+};
+
+}  // namespace nmf

@@ -1,0 +1,173 @@
+#include "nmf/nmf_incremental.hpp"
+
+#include <algorithm>
+
+#include "nmf/nmf_batch.hpp"
+
+namespace nmf {
+
+using queries::Ranked;
+using sm::DenseId;
+
+void NmfIncrementalEngine::load(const sm::SocialGraph& g) {
+  graph_ = g;
+  // Dependency-structure construction — deliberately the expensive part of
+  // NMF Incremental's load phase (the paper: "it initially builds a
+  // dependency graph from the query to assist incremental change
+  // propagation").
+  post_scores_.assign(graph_.num_posts(), 0);
+  for (DenseId p = 0; p < graph_.num_posts(); ++p) {
+    post_scores_[p] = q1_score_of_post(graph_, p);
+  }
+  comment_scores_.assign(graph_.num_comments(), 0);
+  liker_index_.assign(graph_.num_comments(), {});
+  for (DenseId c = 0; c < graph_.num_comments(); ++c) {
+    comment_scores_[c] = q2_score_of_comment(graph_, c);
+    const auto& likers = graph_.comment(c).likers;
+    liker_index_[c].insert(likers.begin(), likers.end());
+  }
+}
+
+void NmfIncrementalEngine::offer_post(DenseId post) {
+  top_.offer(Ranked{graph_.post(post).id, post_scores_[post],
+                    graph_.post(post).timestamp});
+}
+
+void NmfIncrementalEngine::offer_comment(DenseId comment) {
+  top_.offer(Ranked{graph_.comment(comment).id, comment_scores_[comment],
+                    graph_.comment(comment).timestamp});
+}
+
+std::string NmfIncrementalEngine::initial() {
+  top_ = queries::TopK(3);
+  if (query_ == harness::Query::kQ1) {
+    for (DenseId p = 0; p < graph_.num_posts(); ++p) {
+      offer_post(p);
+    }
+  } else {
+    for (DenseId c = 0; c < graph_.num_comments(); ++c) {
+      offer_comment(c);
+    }
+  }
+  return top_.answer();
+}
+
+std::string NmfIncrementalEngine::update(const sm::ChangeSet& cs) {
+  std::vector<DenseId> touched_posts;
+  // Q2: invalidated comments, re-evaluated once at the end of the batch.
+  std::vector<DenseId> invalidated;
+  // Removals make scores non-monotone; the merge-only top-k maintenance is
+  // then unsound and we re-rank from the (cheap, cached) score tables.
+  bool non_monotone = false;
+
+  for (const sm::ChangeOp& op : cs.ops) {
+    std::visit(
+        [&](const auto& o) {
+          using T = std::decay_t<decltype(o)>;
+          if constexpr (std::is_same_v<T, sm::AddUser>) {
+            graph_.add_user(o.id);
+          } else if constexpr (std::is_same_v<T, sm::AddPost>) {
+            graph_.add_post(o.id, o.timestamp);
+            post_scores_.push_back(0);
+            touched_posts.push_back(
+                static_cast<DenseId>(graph_.num_posts() - 1));
+          } else if constexpr (std::is_same_v<T, sm::AddComment>) {
+            const DenseId c = graph_.add_comment(
+                o.id, o.timestamp, o.parent_is_comment, o.parent);
+            comment_scores_.push_back(0);
+            liker_index_.emplace_back();
+            const DenseId root = graph_.comment(c).root_post;
+            post_scores_[root] += 10;  // Q1 propagation: +10 per comment
+            touched_posts.push_back(root);
+            invalidated.push_back(c);
+          } else if constexpr (std::is_same_v<T, sm::AddLikes>) {
+            if (graph_.add_likes(o.user, o.comment)) {
+              const DenseId c = graph_.require_comment(o.comment);
+              const DenseId u = graph_.require_user(o.user);
+              const DenseId root = graph_.comment(c).root_post;
+              post_scores_[root] += 1;  // Q1 propagation: +1 per like
+              touched_posts.push_back(root);
+              liker_index_[c].insert(u);
+              invalidated.push_back(c);
+            }
+          } else if constexpr (std::is_same_v<T, sm::RemoveLikes>) {
+            if (graph_.remove_likes(o.user, o.comment)) {
+              const DenseId c = graph_.require_comment(o.comment);
+              const DenseId u = graph_.require_user(o.user);
+              const DenseId root = graph_.comment(c).root_post;
+              post_scores_[root] -= 1;
+              touched_posts.push_back(root);
+              liker_index_[c].erase(u);
+              invalidated.push_back(c);
+              non_monotone = true;
+            }
+          } else if constexpr (std::is_same_v<T, sm::RemoveFriendship>) {
+            const DenseId a = graph_.require_user(o.a);
+            const DenseId b = graph_.require_user(o.b);
+            if (graph_.remove_friendship(o.a, o.b)) {
+              // Dependency edge, same as insertion: co-liked comments may
+              // split components.
+              const auto& la = graph_.user(a).liked_comments;
+              const auto& lb = graph_.user(b).liked_comments;
+              const auto& smaller = la.size() <= lb.size() ? la : lb;
+              const DenseId other = la.size() <= lb.size() ? b : a;
+              for (const DenseId c : smaller) {
+                if (liker_index_[c].count(other)) {
+                  invalidated.push_back(c);
+                }
+              }
+              non_monotone = true;
+            }
+          } else {
+            static_assert(std::is_same_v<T, sm::AddFriendship>);
+            if (graph_.add_friendship(o.a, o.b)) {
+              const DenseId a = graph_.require_user(o.a);
+              const DenseId b = graph_.require_user(o.b);
+              // Dependency edge: comments whose fan set contains both
+              // endpoints are invalidated (their components may merge).
+              const auto& la = graph_.user(a).liked_comments;
+              const auto& lb = graph_.user(b).liked_comments;
+              const auto& smaller = la.size() <= lb.size() ? la : lb;
+              const DenseId other = la.size() <= lb.size() ? b : a;
+              for (const DenseId c : smaller) {
+                if (liker_index_[c].count(other)) {
+                  invalidated.push_back(c);
+                }
+              }
+            }
+          }
+        },
+        op);
+  }
+
+  if (query_ == harness::Query::kQ1) {
+    std::sort(touched_posts.begin(), touched_posts.end());
+    touched_posts.erase(
+        std::unique(touched_posts.begin(), touched_posts.end()),
+        touched_posts.end());
+    if (non_monotone) {
+      return initial();  // re-rank from the maintained score cache
+    }
+    for (const DenseId p : touched_posts) {
+      offer_post(p);
+    }
+  } else {
+    std::sort(invalidated.begin(), invalidated.end());
+    invalidated.erase(std::unique(invalidated.begin(), invalidated.end()),
+                      invalidated.end());
+    // Re-evaluate invalidated results (NMF recomputes the affected
+    // subexpressions; it does not maintain components incrementally).
+    for (const DenseId c : invalidated) {
+      comment_scores_[c] = q2_score_of_comment(graph_, c);
+    }
+    if (non_monotone) {
+      return initial();
+    }
+    for (const DenseId c : invalidated) {
+      offer_comment(c);
+    }
+  }
+  return top_.answer();
+}
+
+}  // namespace nmf

@@ -1,0 +1,24 @@
+// Q1 "influential posts": score(p) = 10 · #comments(p) + #likes on those
+// comments. Batch evaluation is the paper's Alg. 1; incremental maintenance
+// is Alg. 2 (score increments from ΔRootPost and likesCount⁺, masked
+// Δscores extraction).
+#pragma once
+
+#include <cstdint>
+
+#include "queries/grb_state.hpp"
+
+namespace queries {
+
+/// Alg. 1: full evaluation. Returns a sparse score vector over posts (posts
+/// with neither comments nor likes have no entry, i.e. score 0).
+grb::Vector<std::uint64_t> q1_batch_scores(const GrbState& state);
+
+/// Alg. 2: given the previous scores (size = old #posts; resized inside)
+/// and the delta of one change set, updates `scores` in place to the new
+/// totals and returns Δscores — the entries of scores′ whose value changed.
+grb::Vector<std::uint64_t> q1_incremental_update(
+    const GrbState& state, const GrbDelta& delta,
+    grb::Vector<std::uint64_t>& scores);
+
+}  // namespace queries

@@ -1,0 +1,50 @@
+#include "queries/top_k.hpp"
+
+#include <algorithm>
+
+namespace queries {
+
+bool ranks_before(const Ranked& a, const Ranked& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+  return a.id < b.id;
+}
+
+void TopK::offer(const Ranked& candidate) {
+  // Remove a stale entry for the same id, if any.
+  const auto same_id = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const Ranked& e) { return e.id == candidate.id; });
+  if (same_id != entries_.end()) {
+    entries_.erase(same_id);
+  }
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), candidate,
+      [](const Ranked& a, const Ranked& b) { return ranks_before(a, b); });
+  entries_.insert(pos, candidate);
+  if (entries_.size() > k_) {
+    entries_.resize(k_);
+  }
+}
+
+std::string TopK::answer() const {
+  std::string out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) out.push_back('|');
+    out += std::to_string(entries_[i].id);
+  }
+  return out;
+}
+
+TopK top_k_of(std::size_t k, const std::vector<Ranked>& all) {
+  TopK t(k);
+  for (const Ranked& r : all) {
+    // offer() keeps the best k; a pre-filter avoids k² scans on big inputs.
+    if (t.entries().size() < k || ranks_before(r, t.entries().back())) {
+      t.offer(r);
+    }
+  }
+  return t;
+}
+
+}  // namespace queries

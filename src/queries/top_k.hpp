@@ -1,0 +1,55 @@
+// Top-k answer maintenance with the contest's ordering: higher score first,
+// ties broken by the more recent timestamp, then by the smaller id (for a
+// deterministic total order). The incremental engines exploit that scores
+// never decrease under insert-only updates: merging the previous top-k with
+// the entities whose scores changed is sufficient to maintain the answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/social_graph.hpp"
+
+namespace queries {
+
+struct Ranked {
+  sm::NodeId id = 0;
+  std::uint64_t score = 0;
+  sm::Timestamp timestamp = 0;
+
+  friend bool operator==(const Ranked&, const Ranked&) = default;
+};
+
+/// True if a ranks strictly before b.
+[[nodiscard]] bool ranks_before(const Ranked& a, const Ranked& b) noexcept;
+
+class TopK {
+ public:
+  explicit TopK(std::size_t k = 3) : k_(k) {}
+
+  /// Offers a candidate. If an entry with the same id exists it is replaced
+  /// (scores are monotonically nondecreasing, so the new entry never ranks
+  /// worse than the one it replaces).
+  void offer(const Ranked& candidate);
+
+  /// Current entries, best first (at most k).
+  [[nodiscard]] const std::vector<Ranked>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Contest answer string: ids of the best entries joined with '|'.
+  [[nodiscard]] std::string answer() const;
+
+  void clear() noexcept { entries_.clear(); }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  std::vector<Ranked> entries_;  // sorted best-first, unique ids, ≤ k
+};
+
+/// Builds the answer from a full candidate scan (batch engines).
+TopK top_k_of(std::size_t k, const std::vector<Ranked>& all);
+
+}  // namespace queries

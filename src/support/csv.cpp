@@ -1,0 +1,99 @@
+#include "support/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace grbsm::support {
+
+std::vector<std::string> split_csv_line(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"' && cur.empty()) {
+      quoted = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::uint64_t parse_u64(std::string_view field) {
+  std::uint64_t value = 0;
+  const auto* first = field.data();
+  const auto* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw std::invalid_argument("not an unsigned integer: '" +
+                                std::string(field) + "'");
+  }
+  return value;
+}
+
+std::int64_t parse_i64(std::string_view field) {
+  std::int64_t value = 0;
+  const auto* first = field.data();
+  const auto* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw std::invalid_argument("not an integer: '" + std::string(field) +
+                                "'");
+  }
+  return value;
+}
+
+CsvReader::CsvReader(const std::string& path, char sep)
+    : path_(path), in_(path), sep_(sep) {
+  if (!in_) {
+    throw std::runtime_error("cannot open CSV file: " + path);
+  }
+}
+
+bool CsvReader::next(std::vector<std::string>& fields) {
+  while (std::getline(in_, buf_)) {
+    ++line_no_;
+    if (buf_.empty() || buf_ == "\r") continue;
+    fields = split_csv_line(buf_, sep_);
+    return true;
+  }
+  if (in_.bad()) {
+    throw std::runtime_error("I/O error while reading " + path_);
+  }
+  return false;
+}
+
+CsvWriter::CsvWriter(const std::string& path, char sep)
+    : out_(path), sep_(sep) {
+  if (!out_) {
+    throw std::runtime_error("cannot open CSV file for writing: " + path);
+  }
+}
+
+void CsvWriter::write_record(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_.put(sep_);
+    out_ << fields[i];
+  }
+  out_.put('\n');
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace grbsm::support

@@ -1,0 +1,62 @@
+// Minimal CSV reading/writing tailored to the TTC 2018 dataset format:
+// '|'-separated values (the contest's LDBC exports use '|'), no quoting in
+// the fields we produce, one record per line. A small quoted-field escape
+// hatch is provided for robustness against hand-edited files.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grbsm::support {
+
+/// Splits one CSV record into fields. Handles double-quoted fields with
+/// doubled-quote escapes; does not handle embedded newlines (the TTC data
+/// has none).
+std::vector<std::string> split_csv_line(std::string_view line, char sep = '|');
+
+/// Parses a non-negative integer field; throws std::invalid_argument with
+/// the offending text on failure (file loaders want loud errors, not UB).
+std::uint64_t parse_u64(std::string_view field);
+
+/// Parses a signed integer field (timestamps may predate the epoch in
+/// synthetic data).
+std::int64_t parse_i64(std::string_view field);
+
+/// Line-oriented CSV reader. Usage:
+///   CsvReader r(path);
+///   while (auto rec = r.next()) { use(*rec); }
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path, char sep = '|');
+
+  /// Returns false at end of file. Skips blank lines. Throws on I/O error.
+  bool next(std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_no_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  char sep_;
+  std::size_t line_no_ = 0;
+  std::string buf_;
+};
+
+/// Buffered CSV writer with the matching separator conventions.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path, char sep = '|');
+
+  void write_record(const std::vector<std::string>& fields);
+  void flush();
+
+ private:
+  std::ofstream out_;
+  char sep_;
+};
+
+}  // namespace grbsm::support

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the bench/example binaries.
+// Accepts --name=value, --name value, and bare --name (boolean true).
+// Unknown flags are collected so google-benchmark flags can pass through.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace grbsm::support {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Names seen on the command line but never queried — useful for
+  /// "unknown flag" warnings in strict tools.
+  [[nodiscard]] std::vector<std::string> unqueried() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace grbsm::support

@@ -1,0 +1,33 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace grbsm::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  const std::scoped_lock lock(g_mutex);
+  std::cerr << "[grbsm " << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace grbsm::support

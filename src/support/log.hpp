@@ -1,0 +1,42 @@
+// Leveled stderr logging. Benchmarks print their results on stdout; all
+// diagnostics go through here so result streams stay machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace grbsm::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define GRBSM_LOG_DEBUG ::grbsm::support::detail::LogLine(::grbsm::support::LogLevel::kDebug)
+#define GRBSM_LOG_INFO ::grbsm::support::detail::LogLine(::grbsm::support::LogLevel::kInfo)
+#define GRBSM_LOG_WARN ::grbsm::support::detail::LogLine(::grbsm::support::LogLevel::kWarn)
+#define GRBSM_LOG_ERROR ::grbsm::support::detail::LogLine(::grbsm::support::LogLevel::kError)
+
+}  // namespace grbsm::support

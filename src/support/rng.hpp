@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation for the data generator and
+// the property-based tests. We avoid std::mt19937 + std::*_distribution
+// because their output is not guaranteed to be identical across standard
+// library implementations; reproducing a dataset from a seed must be exact.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace grbsm::support {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state. Reference: Steele, Lea, Flood — "Fast splittable pseudorandom
+/// number generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, tiny state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed0123456789abULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    // 128-bit multiply-shift; retry the rare biased region.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    assert(lo <= hi);
+    return lo + bounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Discrete bounded power-law ("Zipf-like") sampler over {1, ..., n} with
+/// exponent `alpha`. Social-network degree distributions (likes per comment,
+/// friends per user) are heavy-tailed; LDBC Datagen enforces a Facebook-like
+/// distribution which this approximates. Sampling is done by inverting the
+/// precomputed CDF with binary search — O(log n) per draw, exact.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha) : cdf_(n) {
+    assert(n > 0);
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      acc += std::pow(static_cast<double>(k), -alpha);
+      cdf_[k - 1] = acc;
+    }
+    const double total = cdf_.back();
+    for (auto& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  /// Draws a value in [1, n]; small values are most likely.
+  std::size_t sample(Xoshiro256& rng) const {
+    const double u = rng.uniform01();
+    // First index whose CDF value exceeds u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo + 1;
+  }
+
+  std::size_t domain() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace grbsm::support

@@ -1,0 +1,27 @@
+// Summary statistics for benchmark reporting. The paper reports the
+// geometric mean of 5 runs per configuration; we provide that plus the
+// usual robustness companions (median, min/max) for EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace grbsm::support {
+
+struct Summary {
+  double geomean = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+/// Geometric mean of strictly positive samples. Zero/negative samples are
+/// clamped to `floor` (timers can return 0 ns for empty phases).
+double geometric_mean(const std::vector<double>& xs, double floor = 1e-12);
+
+/// Full summary of a sample vector (not destructive; copies for the median).
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace grbsm::support

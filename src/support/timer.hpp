@@ -1,0 +1,52 @@
+// Wall-clock timing utilities for the benchmark harness. The TTC framework
+// reports phase times in nanoseconds; we keep that resolution internally and
+// convert at the reporting layer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace grbsm::support {
+
+/// Monotonic stopwatch. `elapsed_ns()` may be called repeatedly; `restart()`
+/// resets the origin.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows (used to time the
+/// "update and reevaluation" phase, which is spread over many change sets).
+class AccumulatingTimer {
+ public:
+  void start() noexcept { window_.restart(); }
+  void stop() noexcept { total_ns_ += window_.elapsed_ns(); }
+  void reset() noexcept { total_ns_ = 0; }
+
+  [[nodiscard]] std::int64_t total_ns() const noexcept { return total_ns_; }
+  [[nodiscard]] double total_s() const noexcept {
+    return static_cast<double>(total_ns_) * 1e-9;
+  }
+
+ private:
+  Timer window_;
+  std::int64_t total_ns_ = 0;
+};
+
+}  // namespace grbsm::support

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generator.hpp"
+#include "model/change.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using datagen::GeneratorParams;
+
+TEST(ScaleTable, HasAllElevenRows) {
+  const auto& table = datagen::scale_table();
+  ASSERT_EQ(table.size(), 11u);
+  EXPECT_EQ(table.front().scale_factor, 1u);
+  EXPECT_EQ(table.front().nodes, 1274u);
+  EXPECT_EQ(table.front().edges, 2533u);
+  EXPECT_EQ(table.front().inserts, 67u);
+  EXPECT_EQ(table.back().scale_factor, 1024u);
+  EXPECT_EQ(table.back().inserts, 74u);
+}
+
+TEST(ScaleTable, SpecForUnknownScaleThrows) {
+  EXPECT_NO_THROW(datagen::spec_for(64));
+  EXPECT_THROW(datagen::spec_for(3), grb::InvalidValue);
+  EXPECT_THROW(datagen::spec_for(2048), grb::InvalidValue);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto p = datagen::params_for_scale(1);
+  const auto a = datagen::generate(p);
+  const auto b = datagen::generate(p);
+  EXPECT_EQ(a.initial.num_nodes(), b.initial.num_nodes());
+  EXPECT_EQ(a.initial.num_edges(), b.initial.num_edges());
+  ASSERT_EQ(a.changes.size(), b.changes.size());
+  for (std::size_t i = 0; i < a.changes.size(); ++i) {
+    EXPECT_EQ(a.changes[i].ops, b.changes[i].ops);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = datagen::generate(datagen::params_for_scale(1, 1));
+  const auto b = datagen::generate(datagen::params_for_scale(1, 2));
+  // Node counts match (calibrated), but the edge wiring must differ.
+  bool any_difference = a.initial.num_edges() != b.initial.num_edges();
+  if (!any_difference) {
+    for (std::size_t c = 0;
+         c < std::min(a.initial.num_comments(), b.initial.num_comments());
+         ++c) {
+      if (a.initial.comment(c).likers != b.initial.comment(c).likers) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+class GeneratorScaleSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GeneratorScaleSweep, SizesWithinToleranceOfTable2) {
+  const unsigned sf = GetParam();
+  const auto spec = datagen::spec_for(sf);
+  const auto ds = datagen::generate(datagen::params_for_scale(sf));
+  // Nodes are constructed exactly; edges within 12% (duplicate rejection in
+  // heavy-tailed sampling loses a few); inserts within 15%.
+  EXPECT_EQ(ds.initial.num_nodes(), spec.nodes);
+  const double edge_ratio = static_cast<double>(ds.initial.num_edges()) /
+                            static_cast<double>(spec.edges);
+  EXPECT_GT(edge_ratio, 0.88) << "edges " << ds.initial.num_edges();
+  EXPECT_LT(edge_ratio, 1.12) << "edges " << ds.initial.num_edges();
+  const double insert_ratio =
+      static_cast<double>(datagen::inserted_elements(ds.changes)) /
+      static_cast<double>(spec.inserts);
+  EXPECT_GT(insert_ratio, 0.85);
+  EXPECT_LT(insert_ratio, 1.15);
+}
+
+TEST_P(GeneratorScaleSweep, ChangesApplyCleanly) {
+  const auto ds = datagen::generate(datagen::params_for_scale(GetParam()));
+  sm::SocialGraph g = ds.initial;
+  for (const auto& cs : ds.changes) {
+    EXPECT_NO_THROW(sm::apply_change_set(g, cs));
+  }
+  EXPECT_GE(g.num_nodes(), ds.initial.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, GeneratorScaleSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(Generator, HeavyTailExists) {
+  // The most-liked comment should hold a clearly super-uniform share.
+  const auto ds = datagen::generate(datagen::params_for_scale(8));
+  std::size_t max_likes = 0;
+  std::size_t total = 0;
+  for (const auto& c : ds.initial.comments()) {
+    max_likes = std::max(max_likes, c.likers.size());
+    total += c.likers.size();
+  }
+  ASSERT_GT(total, 0u);
+  const double uniform_share =
+      static_cast<double>(total) /
+      static_cast<double>(ds.initial.num_comments());
+  EXPECT_GT(static_cast<double>(max_likes), 5.0 * uniform_share);
+}
+
+TEST(Generator, ChangeSetsAreNonEmptyAndDeduplicated) {
+  const auto ds = datagen::generate(datagen::params_for_scale(4));
+  EXPECT_FALSE(ds.changes.empty());
+  sm::SocialGraph g = ds.initial;
+  for (const auto& cs : ds.changes) {
+    EXPECT_FALSE(cs.empty());
+    for (const auto& op : cs.ops) {
+      if (const auto* like = std::get_if<sm::AddLikes>(&op)) {
+        EXPECT_FALSE(g.has_likes(like->user, like->comment));
+      } else if (const auto* fr = std::get_if<sm::AddFriendship>(&op)) {
+        EXPECT_FALSE(g.has_friendship(fr->a, fr->b));
+      }
+      sm::ChangeSet single;
+      single.ops.push_back(op);
+      sm::apply_change_set(g, single);
+    }
+  }
+}
+
+TEST(Zipf, SamplerStaysInDomainAndIsSkewed) {
+  grbsm::support::ZipfSampler zipf(100, 1.0);
+  grbsm::support::Xoshiro256 rng(7);
+  std::size_t ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = zipf.sample(rng);
+    ASSERT_GE(s, 1u);
+    ASSERT_LE(s, 100u);
+    if (s == 1) ++ones;
+  }
+  // P(1) ≈ 1/H(100) ≈ 0.19 for alpha=1; uniform would be 0.01.
+  EXPECT_GT(ones, 1000u);
+}
+
+}  // namespace

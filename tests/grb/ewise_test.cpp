@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "grb/grb.hpp"
+
+namespace {
+
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+using U64 = std::uint64_t;
+using I64 = std::int64_t;
+
+TEST(EWiseAddVector, UnionOfPatterns) {
+  const auto u = Vector<U64>::build(5, {0, 2}, {1, 3});
+  const auto v = Vector<U64>::build(5, {2, 4}, {10, 20});
+  Vector<U64> w(5);
+  grb::eWiseAdd(w, grb::Plus<U64>{}, u, v);
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_EQ(w.at_or(0, 0), 1u);
+  EXPECT_EQ(w.at_or(2, 0), 13u);
+  EXPECT_EQ(w.at_or(4, 0), 20u);
+}
+
+TEST(EWiseAddVector, EmptyOperands) {
+  const Vector<U64> u(4), v(4);
+  Vector<U64> w(4);
+  grb::eWiseAdd(w, grb::Plus<U64>{}, u, v);
+  EXPECT_EQ(w.nvals(), 0u);
+  const auto x = Vector<U64>::build(4, {1}, {5});
+  grb::eWiseAdd(w, grb::Plus<U64>{}, u, x);
+  EXPECT_EQ(w.at_or(1, 0), 5u);
+}
+
+TEST(EWiseAddVector, DimensionMismatchThrows) {
+  const Vector<U64> u(4), v(5);
+  Vector<U64> w(4);
+  EXPECT_THROW(grb::eWiseAdd(w, grb::Plus<U64>{}, u, v),
+               grb::DimensionMismatch);
+}
+
+TEST(EWiseAddVector, SecondOpOverwritesOnIntersection) {
+  // "New value wins" merge used by Q2 incremental (Fig. 4b merge).
+  const auto u = Vector<U64>::build(4, {0, 1}, {1, 2});
+  const auto v = Vector<U64>::build(4, {1, 2}, {9, 8});
+  Vector<U64> w(4);
+  grb::eWiseAdd(w, grb::Second<U64>{}, u, v);
+  EXPECT_EQ(w.at_or(0, 0), 1u);
+  EXPECT_EQ(w.at_or(1, 0), 9u);
+  EXPECT_EQ(w.at_or(2, 0), 8u);
+}
+
+TEST(EWiseMultVector, IntersectionOfPatterns) {
+  const auto u = Vector<U64>::build(5, {0, 2, 4}, {2, 3, 4});
+  const auto v = Vector<U64>::build(5, {2, 3, 4}, {10, 10, 10});
+  Vector<U64> w(5);
+  grb::eWiseMult(w, grb::Times<U64>{}, u, v);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.at_or(2, 0), 30u);
+  EXPECT_EQ(w.at_or(4, 0), 40u);
+}
+
+TEST(EWiseMultVector, DisjointPatternsYieldEmpty) {
+  const auto u = Vector<U64>::build(4, {0}, {1});
+  const auto v = Vector<U64>::build(4, {1}, {1});
+  Vector<U64> w(4);
+  grb::eWiseMult(w, grb::Times<U64>{}, u, v);
+  EXPECT_EQ(w.nvals(), 0u);
+}
+
+TEST(EWiseAddVector, MixedTypesConvertToOutput) {
+  const auto u = Vector<std::uint32_t>::build(3, {0}, {7});
+  const auto v = Vector<std::uint8_t>::build(3, {0, 1}, {1, 2});
+  Vector<I64> w(3);
+  grb::eWiseAdd(w, grb::Plus<I64>{}, u, v);
+  EXPECT_EQ(w.at_or(0, 0), 8);
+  EXPECT_EQ(w.at_or(1, 0), 2);
+}
+
+TEST(EWiseAddMatrix, UnionPerRow) {
+  const auto a = Matrix<U64>::build(2, 3, {{0, 0, 1}, {1, 2, 2}});
+  const auto b = Matrix<U64>::build(2, 3, {{0, 0, 5}, {0, 1, 6}});
+  Matrix<U64> c(2, 3);
+  grb::eWiseAdd(c, grb::Plus<U64>{}, a, b);
+  EXPECT_EQ(c.nvals(), 3u);
+  EXPECT_EQ(c.at(0, 0).value(), 6u);
+  EXPECT_EQ(c.at(0, 1).value(), 6u);
+  EXPECT_EQ(c.at(1, 2).value(), 2u);
+}
+
+TEST(EWiseMultMatrix, IntersectionPerRow) {
+  const auto a = Matrix<U64>::build(2, 3, {{0, 0, 2}, {0, 1, 3}, {1, 2, 4}});
+  const auto b = Matrix<U64>::build(2, 3, {{0, 1, 10}, {1, 2, 10}});
+  Matrix<U64> c(2, 3);
+  grb::eWiseMult(c, grb::Times<U64>{}, a, b);
+  EXPECT_EQ(c.nvals(), 2u);
+  EXPECT_EQ(c.at(0, 1).value(), 30u);
+  EXPECT_EQ(c.at(1, 2).value(), 40u);
+}
+
+TEST(EWiseAddMatrix, ShapeMismatchThrows) {
+  const Matrix<U64> a(2, 3), b(3, 2);
+  Matrix<U64> c(2, 3);
+  EXPECT_THROW(grb::eWiseAdd(c, grb::Plus<U64>{}, a, b),
+               grb::DimensionMismatch);
+}
+
+// Algebraic properties on random-ish data.
+TEST(EWiseProperties, AddCommutes) {
+  const auto u = Vector<U64>::build(8, {0, 3, 5}, {1, 2, 3});
+  const auto v = Vector<U64>::build(8, {3, 5, 7}, {4, 5, 6});
+  Vector<U64> uv(8), vu(8);
+  grb::eWiseAdd(uv, grb::Plus<U64>{}, u, v);
+  grb::eWiseAdd(vu, grb::Plus<U64>{}, v, u);
+  EXPECT_EQ(uv, vu);
+}
+
+TEST(EWiseProperties, MultWithSelfSquares) {
+  const auto u = Vector<U64>::build(4, {1, 3}, {3, 5});
+  Vector<U64> w(4);
+  grb::eWiseMult(w, grb::Times<U64>{}, u, u);
+  EXPECT_EQ(w.at_or(1, 0), 9u);
+  EXPECT_EQ(w.at_or(3, 0), 25u);
+}
+
+TEST(EWiseProperties, MinMaxLattice) {
+  const auto u = Vector<I64>::build(4, {0, 1}, {5, -2});
+  const auto v = Vector<I64>::build(4, {0, 1}, {3, 4});
+  Vector<I64> lo(4), hi(4);
+  grb::eWiseMult(lo, grb::Min<I64>{}, u, v);
+  grb::eWiseMult(hi, grb::Max<I64>{}, u, v);
+  EXPECT_EQ(lo.at_or(0, 0), 3);
+  EXPECT_EQ(lo.at_or(1, 0), -2);
+  EXPECT_EQ(hi.at_or(0, 0), 5);
+  EXPECT_EQ(hi.at_or(1, 0), 4);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "grb/grb.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+using U64 = std::uint64_t;
+
+Matrix<U64> example() {
+  // 4x4:
+  // [ 1 . 2 . ]
+  // [ . 3 . . ]
+  // [ 4 . 5 6 ]
+  // [ . 7 . 8 ]
+  return Matrix<U64>::build(4, 4,
+                            {{0, 0, 1},
+                             {0, 2, 2},
+                             {1, 1, 3},
+                             {2, 0, 4},
+                             {2, 2, 5},
+                             {2, 3, 6},
+                             {3, 1, 7},
+                             {3, 3, 8}});
+}
+
+TEST(Extract, SubmatrixSortedIndices) {
+  const std::vector<Index> rows{0, 2};
+  const std::vector<Index> cols{0, 2, 3};
+  const auto sub = grb::extract_submatrix(example(), rows, cols);
+  EXPECT_EQ(sub.nrows(), 2u);
+  EXPECT_EQ(sub.ncols(), 3u);
+  EXPECT_EQ(sub.at(0, 0).value(), 1u);
+  EXPECT_EQ(sub.at(0, 1).value(), 2u);
+  EXPECT_EQ(sub.at(1, 0).value(), 4u);
+  EXPECT_EQ(sub.at(1, 1).value(), 5u);
+  EXPECT_EQ(sub.at(1, 2).value(), 6u);
+}
+
+TEST(Extract, SubmatrixUnsortedIndicesRenumberInListOrder) {
+  const std::vector<Index> rows{2, 0};
+  const std::vector<Index> cols{3, 0};
+  const auto sub = grb::extract_submatrix(example(), rows, cols);
+  // sub(0,·) = row 2 of source; col order [3, 0].
+  EXPECT_EQ(sub.at(0, 0).value(), 6u);
+  EXPECT_EQ(sub.at(0, 1).value(), 4u);
+  EXPECT_EQ(sub.at(1, 1).value(), 1u);
+}
+
+TEST(Extract, DuplicateColumnsRejected) {
+  const std::vector<Index> rows{0};
+  const std::vector<Index> cols{1, 1};
+  EXPECT_THROW(grb::extract_submatrix(example(), rows, cols),
+               grb::InvalidValue);
+}
+
+TEST(Extract, OutOfBoundsIndexThrows) {
+  const std::vector<Index> rows{4};
+  const std::vector<Index> cols{0};
+  EXPECT_THROW(grb::extract_submatrix(example(), rows, cols),
+               grb::IndexOutOfBounds);
+}
+
+TEST(Extract, EmptyIndexListsYieldEmptyMatrix) {
+  const std::vector<Index> none;
+  const auto sub = grb::extract_submatrix(example(), none, none);
+  EXPECT_EQ(sub.nrows(), 0u);
+  EXPECT_EQ(sub.ncols(), 0u);
+  EXPECT_EQ(sub.nvals(), 0u);
+}
+
+TEST(Extract, SubvectorMapsPositions) {
+  const auto u = Vector<U64>::build(6, {1, 3, 5}, {10, 30, 50});
+  const std::vector<Index> idx{5, 0, 3};
+  Vector<U64> w(3);
+  grb::extract(w, u, idx);
+  EXPECT_EQ(w.at_or(0, 0), 50u);
+  EXPECT_FALSE(w.at(1).has_value());
+  EXPECT_EQ(w.at_or(2, 0), 30u);
+}
+
+TEST(Extract, RowAsVector) {
+  const auto row = grb::extract_row(example(), 2);
+  EXPECT_EQ(row.size(), 4u);
+  EXPECT_EQ(row.nvals(), 3u);
+  EXPECT_EQ(row.at_or(0, 0), 4u);
+  EXPECT_EQ(row.at_or(3, 0), 6u);
+  EXPECT_THROW(grb::extract_row(example(), 9), grb::IndexOutOfBounds);
+}
+
+TEST(Transpose, KnownMatrix) {
+  const auto t = grb::transposed(example());
+  EXPECT_EQ(t.nrows(), 4u);
+  EXPECT_EQ(t.at(0, 2).value(), 4u);
+  EXPECT_EQ(t.at(3, 2).value(), 6u);
+  EXPECT_EQ(t.nvals(), example().nvals());
+}
+
+TEST(Transpose, InvolutionOnRandomMatrices) {
+  grbsm::support::Xoshiro256 rng(99);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<grb::Tuple<U64>> tuples;
+    const Index rows = rng.range(1, 40);
+    const Index cols = rng.range(1, 40);
+    for (int k = 0; k < 120; ++k) {
+      tuples.push_back({rng.bounded(rows), rng.bounded(cols),
+                        rng.bounded(50)});
+    }
+    const auto a =
+        Matrix<U64>::build(rows, cols, std::move(tuples), grb::Plus<U64>{});
+    EXPECT_EQ(grb::transposed(grb::transposed(a)), a);
+  }
+}
+
+TEST(Transpose, RectangularShapesSwap) {
+  const auto a = Matrix<U64>::build(2, 5, {{0, 4, 1}, {1, 0, 2}});
+  Matrix<U64> t(5, 2);
+  grb::transpose(t, a);
+  EXPECT_EQ(t.nrows(), 5u);
+  EXPECT_EQ(t.ncols(), 2u);
+  EXPECT_EQ(t.at(4, 0).value(), 1u);
+  EXPECT_EQ(t.at(0, 1).value(), 2u);
+}
+
+TEST(Assign, MaskedWholeVector) {
+  // Alg. 2 line 14 shape: Δscores<scores+> = scores'.
+  const auto full = Vector<U64>::build(4, {0, 1, 2, 3}, {10, 20, 30, 40});
+  const auto mask = Vector<U64>::build(4, {1, 3}, {1, 1});
+  Vector<U64> out(4);
+  grb::assign(out, &mask, grb::NoAccum{}, full);
+  EXPECT_EQ(out.nvals(), 2u);
+  EXPECT_EQ(out.at_or(1, 0), 20u);
+  EXPECT_EQ(out.at_or(3, 0), 40u);
+}
+
+TEST(Assign, SubsetScattersThroughIndexList) {
+  auto w = Vector<U64>::build(6, {0}, {1});
+  const auto u = Vector<U64>::build(3, {0, 2}, {7, 9});
+  const std::vector<Index> idx{4, 1, 5};
+  grb::assign_subset(w, grb::NoAccum{}, idx, u);
+  EXPECT_EQ(w.at_or(4, 0), 7u);  // u(0) -> w(idx[0])
+  EXPECT_EQ(w.at_or(5, 0), 9u);  // u(2) -> w(idx[2])
+  EXPECT_EQ(w.at_or(0, 0), 1u);  // untouched outside I
+  EXPECT_EQ(w.nvals(), 3u);
+}
+
+TEST(Assign, SubsetWithAccumCombines) {
+  auto w = Vector<U64>::build(4, {2}, {5});
+  const auto u = Vector<U64>::build(1, {0}, {3});
+  const std::vector<Index> idx{2};
+  grb::assign_subset(w, grb::Plus<U64>{}, idx, u);
+  EXPECT_EQ(w.at_or(2, 0), 8u);
+}
+
+TEST(Assign, SubsetSizeMismatchThrows) {
+  Vector<U64> w(4);
+  const Vector<U64> u(3);
+  const std::vector<Index> idx{0, 1};
+  EXPECT_THROW(grb::assign_subset(w, grb::NoAccum{}, idx, u),
+               grb::DimensionMismatch);
+}
+
+TEST(Assign, ScalarToIndexList) {
+  Vector<U64> w(5);
+  const std::vector<Index> idx{1, 3, 3};
+  grb::assign_scalar(w, idx, U64{42});
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.at_or(1, 0), 42u);
+  EXPECT_EQ(w.at_or(3, 0), 42u);
+}
+
+TEST(Extract, SubmatrixOfSymmetricStaysSymmetric) {
+  // The Q2 hot path: induced subgraph of a symmetric Friends matrix.
+  grbsm::support::Xoshiro256 rng(5);
+  std::vector<grb::Tuple<U64>> tuples;
+  const Index n = 30;
+  for (int k = 0; k < 100; ++k) {
+    const Index a = rng.bounded(n);
+    const Index b = rng.bounded(n);
+    if (a == b) continue;
+    tuples.push_back({a, b, 1});
+    tuples.push_back({b, a, 1});
+  }
+  const auto m = Matrix<U64>::build(n, n, std::move(tuples), grb::LOr<U64>{});
+  const std::vector<Index> idx{2, 5, 7, 11, 20, 29};
+  const auto sub = grb::extract_submatrix(m, idx, idx);
+  for (const auto& t : sub.extract_tuples()) {
+    EXPECT_TRUE(sub.has(t.col, t.row));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Tests for grb::kronecker and the Matrix Market import/export.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "grb/grb.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::Index;
+using grb::Matrix;
+using U64 = std::uint64_t;
+
+TEST(Kronecker, TwoByTwoTimesIdentity) {
+  const auto a =
+      Matrix<U64>::build(2, 2, {{0, 0, 1}, {0, 1, 2}, {1, 0, 3}, {1, 1, 4}});
+  const auto eye = Matrix<U64>::build(2, 2, {{0, 0, 1}, {1, 1, 1}});
+  Matrix<U64> c(4, 4);
+  grb::kronecker(c, grb::Times<U64>{}, a, eye);
+  EXPECT_EQ(c.nvals(), 8u);
+  EXPECT_EQ(c.at(0, 0).value(), 1u);
+  EXPECT_EQ(c.at(1, 1).value(), 1u);
+  EXPECT_EQ(c.at(0, 2).value(), 2u);
+  EXPECT_EQ(c.at(3, 1).value(), 3u);
+  EXPECT_EQ(c.at(2, 2).value(), 4u);
+  c.check_invariants();
+}
+
+TEST(Kronecker, SizesMultiply) {
+  const auto a = Matrix<U64>::build(2, 3, {{0, 2, 5}});
+  const auto b = Matrix<U64>::build(3, 2, {{1, 0, 7}});
+  Matrix<U64> c(6, 6);
+  grb::kronecker(c, grb::Times<U64>{}, a, b);
+  EXPECT_EQ(c.nrows(), 6u);
+  EXPECT_EQ(c.ncols(), 6u);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_EQ(c.at(0 * 3 + 1, 2 * 2 + 0).value(), 35u);
+}
+
+TEST(Kronecker, NvalsIsProductOfNvals) {
+  grbsm::support::Xoshiro256 rng(3);
+  std::vector<grb::Tuple<U64>> ta, tb;
+  for (int k = 0; k < 12; ++k) {
+    ta.push_back({rng.bounded(5), rng.bounded(5), rng.bounded(9) + 1});
+    tb.push_back({rng.bounded(4), rng.bounded(4), rng.bounded(9) + 1});
+  }
+  const auto a = Matrix<U64>::build(5, 5, ta, grb::First<U64>{});
+  const auto b = Matrix<U64>::build(4, 4, tb, grb::First<U64>{});
+  Matrix<U64> c(20, 20);
+  grb::kronecker(c, grb::Times<U64>{}, a, b);
+  EXPECT_EQ(c.nvals(), a.nvals() * b.nvals());
+  c.check_invariants();
+}
+
+TEST(Kronecker, RmatStyleRecursionGrowsScaleFree) {
+  // kron(kron(G, G), G) of a 2x2 seed: the classic RMAT construction.
+  const auto seed =
+      Matrix<U64>::build(2, 2, {{0, 0, 1}, {0, 1, 1}, {1, 1, 1}});
+  Matrix<U64> g2(4, 4), g3(8, 8);
+  grb::kronecker(g2, grb::Times<U64>{}, seed, seed);
+  grb::kronecker(g3, grb::Times<U64>{}, g2, seed);
+  EXPECT_EQ(g3.nvals(), 27u);  // 3^3
+  EXPECT_EQ(g3.nrows(), 8u);
+}
+
+class MmIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("grbsm_mm_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()) +
+              ".mtx"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(MmIoTest, RoundTripInteger) {
+  const auto m =
+      Matrix<U64>::build(3, 4, {{0, 0, 7}, {1, 3, 9}, {2, 2, 1}});
+  grb::write_matrix_market(m, path_);
+  EXPECT_EQ(grb::read_matrix_market<U64>(path_), m);
+}
+
+TEST_F(MmIoTest, RoundTripReal) {
+  const auto m = Matrix<double>::build(2, 2, {{0, 1, 2.5}, {1, 0, -1.25}});
+  grb::write_matrix_market(m, path_);
+  EXPECT_EQ(grb::read_matrix_market<double>(path_), m);
+}
+
+TEST_F(MmIoTest, ReadsPatternFiles) {
+  std::ofstream out(path_);
+  out << "%%MatrixMarket matrix coordinate pattern general\n"
+      << "% comment line\n"
+      << "3 3 2\n"
+      << "1 2\n"
+      << "3 3\n";
+  out.close();
+  const auto m = grb::read_matrix_market<grb::Bool>(path_);
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_TRUE(m.has(0, 1));
+  EXPECT_TRUE(m.has(2, 2));
+}
+
+TEST_F(MmIoTest, ExpandsSymmetricFiles) {
+  std::ofstream out(path_);
+  out << "%%MatrixMarket matrix coordinate integer symmetric\n"
+      << "3 3 2\n"
+      << "2 1 5\n"
+      << "3 3 6\n";
+  out.close();
+  const auto m = grb::read_matrix_market<U64>(path_);
+  EXPECT_EQ(m.nvals(), 3u);  // (1,0), (0,1), (2,2)
+  EXPECT_EQ(m.at(0, 1).value(), 5u);
+  EXPECT_EQ(m.at(1, 0).value(), 5u);
+}
+
+TEST_F(MmIoTest, MalformedFilesThrow) {
+  {
+    std::ofstream out(path_);
+    out << "%%MatrixMarket matrix array real general\n1 1\n0.5\n";
+  }
+  EXPECT_THROW(grb::read_matrix_market<double>(path_), grb::InvalidValue);
+  {
+    std::ofstream out(path_);
+    out << "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 3\n";
+  }
+  EXPECT_THROW(grb::read_matrix_market<U64>(path_), grb::InvalidValue);
+  EXPECT_THROW(grb::read_matrix_market<U64>("/no/such/file.mtx"),
+               std::runtime_error);
+}
+
+TEST_F(MmIoTest, RandomRoundTripSweep) {
+  grbsm::support::Xoshiro256 rng(17);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<grb::Tuple<U64>> tuples;
+    const Index rows = rng.range(1, 50);
+    const Index cols = rng.range(1, 50);
+    for (int k = 0; k < 200; ++k) {
+      tuples.push_back(
+          {rng.bounded(rows), rng.bounded(cols), rng.bounded(1000)});
+    }
+    const auto m =
+        Matrix<U64>::build(rows, cols, std::move(tuples), grb::First<U64>{});
+    grb::write_matrix_market(m, path_);
+    EXPECT_EQ(grb::read_matrix_market<U64>(path_), m) << "round " << round;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "grb/grb.hpp"
+
+namespace {
+
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+using U64 = std::uint64_t;
+
+Matrix<U64> example() {
+  // [ 1 2 . ]
+  // [ . 3 4 ]
+  // [ 5 . 6 ]
+  return Matrix<U64>::build(
+      3, 3, {{0, 0, 1}, {0, 1, 2}, {1, 1, 3}, {1, 2, 4}, {2, 0, 5}, {2, 2, 6}});
+}
+
+TEST(ReduceCols, PlusMonoid) {
+  Vector<U64> w(3);
+  grb::reduce_cols(w, grb::plus_monoid<U64>(), example());
+  EXPECT_EQ(w.at_or(0, 0), 6u);
+  EXPECT_EQ(w.at_or(1, 0), 5u);
+  EXPECT_EQ(w.at_or(2, 0), 10u);
+}
+
+TEST(ReduceCols, EmptyColumnsHaveNoEntry) {
+  const auto m = Matrix<U64>::build(2, 4, {{0, 1, 7}});
+  Vector<U64> w(4);
+  grb::reduce_cols(w, grb::plus_monoid<U64>(), m);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.at_or(1, 0), 7u);
+}
+
+TEST(ReduceCols, EqualsRowReduceOfTranspose) {
+  const auto m = example();
+  Vector<U64> cols(3), rows_of_t(3);
+  grb::reduce_cols(cols, grb::plus_monoid<U64>(), m);
+  grb::reduce_rows(rows_of_t, grb::plus_monoid<U64>(), grb::transposed(m));
+  EXPECT_EQ(cols, rows_of_t);
+}
+
+TEST(ReduceCols, MaskedVariant) {
+  const auto mask = Vector<U64>::build(3, {2}, {1});
+  Vector<U64> w(3);
+  grb::reduce_cols(w, &mask, grb::NoAccum{}, grb::plus_monoid<U64>(),
+                   example());
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.at_or(2, 0), 10u);
+}
+
+TEST(Diag, MainDiagonalRoundTrip) {
+  const auto v = Vector<U64>::build(4, {0, 2}, {5, 7});
+  const auto m = grb::diag_matrix(v);
+  EXPECT_EQ(m.nrows(), 4u);
+  EXPECT_EQ(m.at(0, 0).value(), 5u);
+  EXPECT_EQ(m.at(2, 2).value(), 7u);
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_EQ(grb::diag_vector(m), v);
+}
+
+TEST(Diag, ShiftedDiagonals) {
+  const auto v = Vector<U64>::build(2, {0, 1}, {1, 2});
+  const auto up = grb::diag_matrix(v, 1);
+  EXPECT_EQ(up.nrows(), 3u);
+  EXPECT_EQ(up.at(0, 1).value(), 1u);
+  EXPECT_EQ(up.at(1, 2).value(), 2u);
+  const auto down = grb::diag_matrix(v, -1);
+  EXPECT_EQ(down.at(1, 0).value(), 1u);
+  EXPECT_EQ(down.at(2, 1).value(), 2u);
+  // Extraction inverts construction on the same shift.
+  EXPECT_EQ(grb::diag_vector(up, 1), v);
+  EXPECT_EQ(grb::diag_vector(down, -1), v);
+}
+
+TEST(Diag, OutOfRangeDiagonalIsEmpty) {
+  const auto m = example();
+  EXPECT_EQ(grb::diag_vector(m, 5).size(), 0u);
+  EXPECT_EQ(grb::diag_vector(m, -5).size(), 0u);
+}
+
+TEST(Diag, IdentityIsMxmNeutral) {
+  const auto eye = grb::identity_matrix<U64>(3);
+  EXPECT_EQ(eye.nvals(), 3u);
+  Matrix<U64> c(3, 3);
+  grb::mxm(c, grb::plus_times_semiring<U64>(), eye, example());
+  EXPECT_EQ(c, example());
+}
+
+TEST(Diag, RectangularDiagonalExtraction) {
+  const auto m = Matrix<U64>::build(2, 4, {{0, 0, 1}, {1, 1, 2}, {1, 3, 9}});
+  const auto d = grb::diag_vector(m);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.at_or(0, 0), 1u);
+  EXPECT_EQ(d.at_or(1, 0), 2u);
+  const auto d2 = grb::diag_vector(m, 2);
+  EXPECT_EQ(d2.size(), 2u);  // positions (0,2), (1,3)
+  EXPECT_EQ(d2.at_or(1, 0), 9u);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "grb/grb.hpp"
+
+namespace {
+
+using grb::Index;
+using grb::Vector;
+using U64 = std::uint64_t;
+
+TEST(Vector, NewVectorIsEmpty) {
+  const Vector<U64> v(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.nvals(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.at(3).has_value());
+}
+
+TEST(Vector, BuildSortsAndStores) {
+  const auto v = Vector<U64>::build(6, {4, 1, 3}, {40, 10, 30});
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_EQ(v.at_or(1, 0), 10u);
+  EXPECT_EQ(v.at_or(3, 0), 30u);
+  EXPECT_EQ(v.at_or(4, 0), 40u);
+  EXPECT_EQ(v.at_or(0, 0), 0u);
+  EXPECT_EQ(v.indices()[0], 1u);
+  EXPECT_EQ(v.indices()[2], 4u);
+}
+
+TEST(Vector, BuildCombinesDuplicatesWithDup) {
+  const auto plus =
+      Vector<U64>::build(4, {2, 2, 2}, {1, 2, 3}, grb::Plus<U64>{});
+  EXPECT_EQ(plus.nvals(), 1u);
+  EXPECT_EQ(plus.at_or(2, 0), 6u);
+  // Default dup is Second: last value wins.
+  const auto second = Vector<U64>::build(4, {2, 2}, {7, 9});
+  EXPECT_EQ(second.at_or(2, 0), 9u);
+}
+
+TEST(Vector, BuildRejectsOutOfBounds) {
+  EXPECT_THROW(Vector<U64>::build(3, {3}, {1}), grb::IndexOutOfBounds);
+}
+
+TEST(Vector, BuildRejectsLengthMismatch) {
+  EXPECT_THROW(Vector<U64>::build(3, {0, 1}, {1}), grb::InvalidValue);
+}
+
+TEST(Vector, SetInsertsAndOverwrites) {
+  Vector<U64> v(5);
+  v.set(2, 20);
+  v.set(0, 5);
+  v.set(2, 21);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_EQ(v.at_or(2, 0), 21u);
+  EXPECT_EQ(v.at_or(0, 0), 5u);
+}
+
+TEST(Vector, EraseRemovesEntry) {
+  auto v = Vector<U64>::build(5, {1, 2, 3}, {1, 2, 3});
+  v.erase(2);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_FALSE(v.at(2).has_value());
+  v.erase(2);  // idempotent
+  EXPECT_EQ(v.nvals(), 2u);
+}
+
+TEST(Vector, AccessOutOfBoundsThrows) {
+  Vector<U64> v(3);
+  EXPECT_THROW((void)v.at(3), grb::IndexOutOfBounds);
+  EXPECT_THROW(v.set(5, 1), grb::IndexOutOfBounds);
+  EXPECT_THROW(v.erase(3), grb::IndexOutOfBounds);
+}
+
+TEST(Vector, ResizeGrowKeepsEntries) {
+  auto v = Vector<U64>::build(4, {0, 3}, {1, 2});
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_EQ(v.at_or(3, 0), 2u);
+}
+
+TEST(Vector, ResizeShrinkDropsTail) {
+  auto v = Vector<U64>::build(10, {0, 4, 9}, {1, 2, 3});
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_EQ(v.at_or(4, 0), 2u);
+}
+
+TEST(Vector, ClearKeepsSize) {
+  auto v = Vector<U64>::build(4, {1}, {1});
+  v.clear();
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TEST(Vector, DenseAndFull) {
+  const auto d = Vector<Index>::dense(4, [](Index i) { return i * i; });
+  EXPECT_EQ(d.nvals(), 4u);
+  EXPECT_EQ(d.at_or(3, 0), 9u);
+  const auto f = Vector<U64>::full(3, 7);
+  EXPECT_EQ(f.to_dense(), (std::vector<U64>{7, 7, 7}));
+}
+
+TEST(Vector, ToDenseUsesFill) {
+  const auto v = Vector<U64>::build(4, {1}, {5});
+  EXPECT_EQ(v.to_dense(9), (std::vector<U64>{9, 5, 9, 9}));
+}
+
+TEST(Vector, ExtractTuplesRoundTrip) {
+  const auto v = Vector<U64>::build(6, {5, 0, 2}, {50, 1, 20});
+  std::vector<Index> idx;
+  std::vector<U64> vals;
+  v.extract_tuples(idx, vals);
+  const auto rebuilt = Vector<U64>::build(6, idx, vals);
+  EXPECT_EQ(rebuilt, v);
+}
+
+TEST(Vector, EqualityComparesPatternAndValues) {
+  const auto a = Vector<U64>::build(4, {1, 2}, {1, 2});
+  const auto b = Vector<U64>::build(4, {1, 2}, {1, 2});
+  const auto c = Vector<U64>::build(4, {1, 2}, {1, 3});
+  const auto d = Vector<U64>::build(5, {1, 2}, {1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+class VectorBuildSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(VectorBuildSweep, BuildFromReversedIndicesSortsCorrectly) {
+  const Index n = GetParam();
+  std::vector<Index> idx;
+  std::vector<U64> vals;
+  for (Index i = n; i-- > 0;) {
+    idx.push_back(i);
+    vals.push_back(i * 3 + 1);
+  }
+  const auto v = Vector<U64>::build(n, idx, vals);
+  EXPECT_EQ(v.nvals(), n);
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_EQ(v.at_or(i, 0), i * 3 + 1);
+  }
+  const auto is = v.indices();
+  for (std::size_t k = 1; k < is.size(); ++k) {
+    EXPECT_LT(is[k - 1], is[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VectorBuildSweep,
+                         ::testing::Values(1, 2, 7, 64, 1000));
+
+}  // namespace

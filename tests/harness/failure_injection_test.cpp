@@ -1,0 +1,172 @@
+// Failure-injection and degenerate-input tests: the harness must detect
+// disagreeing engines (that is its whole purpose), loaders must reject
+// malformed datasets loudly, and every engine must survive empty and
+// minimal graphs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "harness/runner.hpp"
+#include "model/io.hpp"
+#include "paper_example.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using harness::Query;
+
+/// An engine that lies: correct initial answer, garbage afterwards.
+class LyingEngine final : public harness::Engine {
+ public:
+  explicit LyingEngine(Query q) : inner_(harness::make_engine("nmf-batch", q)) {}
+  [[nodiscard]] std::string name() const override { return "Liar"; }
+  void load(const sm::SocialGraph& g) override { inner_->load(g); }
+  std::string initial() override { return inner_->initial(); }
+  std::string update(const sm::ChangeSet& cs) override {
+    inner_->update(cs);
+    return "666|667|668";
+  }
+
+ private:
+  harness::EnginePtr inner_;
+};
+
+TEST(FailureInjection, VerifyToolsDetectsDisagreement) {
+  // Run the real tools first, then compare against the liar by hand (the
+  // registry cannot build it, so replicate verify_tools' comparison).
+  const auto g = paper_example::initial_graph();
+  const std::vector<sm::ChangeSet> changes = {
+      paper_example::update_change_set()};
+  const auto reference = harness::verify_tools(
+      {harness::find_tool("grb-batch")}, Query::kQ1, g, changes);
+  LyingEngine liar(Query::kQ1);
+  liar.load(g);
+  EXPECT_EQ(liar.initial(), reference[0]);
+  EXPECT_NE(liar.update(changes[0]), reference[1]);
+}
+
+TEST(FailureInjection, RunRepeatedRejectsNondeterminism) {
+  // A tool whose answers depend on run parity must be flagged.
+  class FlakyEngine final : public harness::Engine {
+   public:
+    [[nodiscard]] std::string name() const override { return "Flaky"; }
+    void load(const sm::SocialGraph&) override {}
+    std::string initial() override { return "1"; }
+    std::string update(const sm::ChangeSet&) override {
+      return (++calls_ % 2 == 0) ? "2" : "3";
+    }
+    int calls_ = 0;
+  };
+  // run_repeated builds engines through the registry, so exercise the
+  // answer-comparison logic directly.
+  FlakyEngine flaky;
+  flaky.load(paper_example::initial_graph());
+  const auto a1 = flaky.update(paper_example::update_change_set());
+  const auto a2 = flaky.update(paper_example::update_change_set());
+  EXPECT_NE(a1, a2);  // this is what run_repeated's guard would catch
+}
+
+TEST(DegenerateInputs, EmptyGraphAllEngines) {
+  const sm::SocialGraph empty;
+  for (const auto& tool : harness::all_tools()) {
+    for (const Query q : {Query::kQ1, Query::kQ2}) {
+      auto engine = harness::make_engine(tool.key, q);
+      engine->load(empty);
+      EXPECT_EQ(engine->initial(), "") << tool.label;
+      EXPECT_EQ(engine->update(sm::ChangeSet{}), "") << tool.label;
+    }
+  }
+}
+
+TEST(DegenerateInputs, GraphBuiltEntirelyThroughUpdates) {
+  // Engines must handle a load of nothing followed by creation via changes.
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddUser{1});
+  cs.ops.push_back(sm::AddPost{10, 100, 1});
+  cs.ops.push_back(sm::AddComment{20, 200, false, 10, 1});
+  cs.ops.push_back(sm::AddLikes{1, 20});
+  for (const auto& tool : harness::all_tools()) {
+    auto q1 = harness::make_engine(tool.key, Query::kQ1);
+    q1->load(sm::SocialGraph{});
+    q1->initial();
+    EXPECT_EQ(q1->update(cs), "10") << tool.label;  // 10·1 + 1 = 11
+    auto q2 = harness::make_engine(tool.key, Query::kQ2);
+    q2->load(sm::SocialGraph{});
+    q2->initial();
+    EXPECT_EQ(q2->update(cs), "20") << tool.label;  // single liker: 1
+  }
+}
+
+TEST(DegenerateInputs, SinglePostNoUsers) {
+  sm::SocialGraph g;
+  g.add_post(7, 0);
+  for (const auto& tool : harness::all_tools()) {
+    auto engine = harness::make_engine(tool.key, Query::kQ1);
+    engine->load(g);
+    EXPECT_EQ(engine->initial(), "7") << tool.label;
+  }
+}
+
+TEST(DegenerateInputs, ChangeReferencingUnknownEntityThrows) {
+  sm::ChangeSet bad;
+  bad.ops.push_back(sm::AddLikes{999, 888});
+  for (const char* key : {"grb-incremental", "nmf-incremental"}) {
+    auto engine = harness::make_engine(key, Query::kQ2);
+    engine->load(paper_example::initial_graph());
+    engine->initial();
+    EXPECT_THROW(engine->update(bad), grb::InvalidValue) << key;
+  }
+}
+
+class MalformedDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("grbsm_malformed_" + std::string(::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  void write(const char* name, const char* content) {
+    std::ofstream out(fs::path(dir_) / name);
+    out << content;
+  }
+  std::string dir_;
+};
+
+TEST_F(MalformedDatasetTest, TruncatedPostRecord) {
+  write("users.csv", "1\n");
+  write("posts.csv", "10|100\n");  // missing submitter field
+  EXPECT_THROW(sm::load_initial(dir_), grb::InvalidValue);
+}
+
+TEST_F(MalformedDatasetTest, NonNumericId) {
+  write("users.csv", "abc\n");
+  EXPECT_THROW(sm::load_initial(dir_), std::invalid_argument);
+}
+
+TEST_F(MalformedDatasetTest, CommentBeforeItsParent) {
+  write("users.csv", "1\n");
+  write("posts.csv", "10|100|1\n");
+  write("comments.csv", "21|300|C|20|1\n20|200|P|10|1\n");  // 21 before 20
+  EXPECT_THROW(sm::load_initial(dir_), grb::InvalidValue);
+}
+
+TEST_F(MalformedDatasetTest, UnknownChangeKind) {
+  write("users.csv", "1\n");
+  write("change01.csv", "Z|1|2\n");
+  EXPECT_THROW(sm::load_change_sets(dir_), grb::InvalidValue);
+}
+
+TEST_F(MalformedDatasetTest, BadParentKindInComment) {
+  write("users.csv", "1\n");
+  write("posts.csv", "10|100|1\n");
+  write("comments.csv", "20|200|X|10|1\n");
+  EXPECT_THROW(sm::load_initial(dir_), grb::InvalidValue);
+}
+
+}  // namespace

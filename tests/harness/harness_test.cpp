@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "paper_example.hpp"
+
+namespace {
+
+using harness::Query;
+
+TEST(Registry, Fig5HasSixToolsInLegendOrder) {
+  const auto& tools = harness::fig5_tools();
+  ASSERT_EQ(tools.size(), 6u);
+  EXPECT_EQ(tools[0].label, "GraphBLAS Batch");
+  EXPECT_EQ(tools[1].label, "GraphBLAS Incremental");
+  EXPECT_EQ(tools[2].threads, 8);
+  EXPECT_EQ(tools[3].threads, 8);
+  EXPECT_EQ(tools[4].label, "NMF Batch");
+  EXPECT_EQ(tools[5].label, "NMF Incremental");
+}
+
+TEST(Registry, UnknownKeysThrow) {
+  EXPECT_THROW(harness::make_engine("bogus", Query::kQ1), grb::InvalidValue);
+  EXPECT_THROW(harness::find_tool("bogus"), grb::InvalidValue);
+}
+
+TEST(Registry, EveryToolInstantiates) {
+  for (const auto& t : harness::all_tools()) {
+    const auto e = harness::make_engine(t.key, Query::kQ2);
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(e->name().empty());
+  }
+}
+
+TEST(Runner, RunOnceProducesAnswersAndTimings) {
+  const auto& tool = harness::find_tool("grb-incremental");
+  const auto result =
+      harness::run_once(tool, Query::kQ2, paper_example::initial_graph(),
+                        {paper_example::update_change_set()});
+  EXPECT_EQ(result.initial_answer, paper_example::kQ2Initial);
+  ASSERT_EQ(result.update_answers.size(), 1u);
+  EXPECT_EQ(result.update_answers[0], paper_example::kQ2Updated);
+  EXPECT_GT(result.load_and_initial_s, 0.0);
+  EXPECT_GE(result.update_and_reeval_s, 0.0);
+}
+
+TEST(Runner, RepeatedRunsSummarise) {
+  const auto& tool = harness::find_tool("nmf-batch");
+  const auto rep =
+      harness::run_repeated(tool, Query::kQ1, paper_example::initial_graph(),
+                            {paper_example::update_change_set()}, 3);
+  EXPECT_EQ(rep.load_and_initial.n, 3u);
+  EXPECT_GT(rep.load_and_initial.geomean, 0.0);
+  EXPECT_LE(rep.load_and_initial.min, rep.load_and_initial.max);
+  EXPECT_EQ(rep.initial_answer, paper_example::kQ1Initial);
+}
+
+TEST(Runner, VerifyToolsReturnsAnswerSequence) {
+  const auto answers = harness::verify_tools(
+      harness::all_tools(), Query::kQ1, paper_example::initial_graph(),
+      {paper_example::update_change_set()});
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0], paper_example::kQ1Initial);
+  EXPECT_EQ(answers[1], paper_example::kQ1Updated);
+}
+
+TEST(Report, TableAndCsvFormatting) {
+  harness::SeriesTable t;
+  t.title = "demo";
+  t.rows = {"1", "2"};
+  t.cols = {"ToolA", "ToolB"};
+  t.cells = {{0.5, -1.0}, {0.001234, 10.0}};
+  std::ostringstream table;
+  harness::print_table(table, t);
+  EXPECT_NE(table.str().find("demo"), std::string::npos);
+  EXPECT_NE(table.str().find("ToolB"), std::string::npos);
+  EXPECT_NE(table.str().find("0.001234"), std::string::npos);
+  EXPECT_NE(table.str().find('-'), std::string::npos);  // missing cell
+  std::ostringstream csv;
+  harness::print_csv(csv, t);
+  EXPECT_NE(csv.str().find("scale,ToolA,ToolB"), std::string::npos);
+  EXPECT_NE(csv.str().find("2,0.001234,10"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Tests for the extended LAGraph-style algorithm collection: PageRank,
+// triangle counting and SSSP over the grb engine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lagraph/pagerank.hpp"
+#include "lagraph/sssp.hpp"
+#include "lagraph/triangle_count.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::Bool;
+using grb::Index;
+using grb::Matrix;
+using U64 = std::uint64_t;
+
+Matrix<Bool> digraph(Index n,
+                     const std::vector<std::pair<Index, Index>>& edges) {
+  std::vector<grb::Tuple<Bool>> t;
+  for (const auto& [a, b] : edges) t.push_back({a, b, 1});
+  return Matrix<Bool>::build(n, n, std::move(t), grb::LOr<Bool>{});
+}
+
+Matrix<Bool> undirected(Index n,
+                        const std::vector<std::pair<Index, Index>>& edges) {
+  std::vector<grb::Tuple<Bool>> t;
+  for (const auto& [a, b] : edges) {
+    t.push_back({a, b, 1});
+    t.push_back({b, a, 1});
+  }
+  return Matrix<Bool>::build(n, n, std::move(t), grb::LOr<Bool>{});
+}
+
+// --- PageRank ---------------------------------------------------------------
+
+TEST(PageRank, SumsToOne) {
+  const auto adj = digraph(5, {{0, 1}, {1, 2}, {2, 0}, {3, 2}, {4, 0}});
+  const auto result = lagraph::pagerank(adj);
+  const double total = std::accumulate(result.rank.begin(),
+                                       result.rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_GT(result.iterations, 1);
+}
+
+TEST(PageRank, SymmetricCycleIsUniform) {
+  const auto adj = digraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto result = lagraph::pagerank(adj);
+  for (const double r : result.rank) {
+    EXPECT_NEAR(r, 0.25, 1e-6);
+  }
+}
+
+TEST(PageRank, HubAttractsMass) {
+  // Everyone links to vertex 0.
+  const auto adj = digraph(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const auto result = lagraph::pagerank(adj);
+  for (Index i = 1; i < 5; ++i) {
+    EXPECT_GT(result.rank[0], result.rank[i] * 2);
+  }
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  // 0 -> 1, 1 dangles: rank still sums to one.
+  const auto adj = digraph(3, {{0, 1}});
+  const auto result = lagraph::pagerank(adj);
+  const double total = std::accumulate(result.rank.begin(),
+                                       result.rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_GT(result.rank[1], result.rank[0]);
+}
+
+TEST(PageRank, BadInputThrows) {
+  EXPECT_THROW(lagraph::pagerank(Matrix<Bool>(2, 3)),
+               grb::DimensionMismatch);
+}
+
+// --- Triangle counting ------------------------------------------------------
+
+TEST(TriangleCount, KnownSmallGraphs) {
+  EXPECT_EQ(lagraph::triangle_count(undirected(3, {{0, 1}, {1, 2}, {0, 2}})),
+            1u);
+  // K4 has 4 triangles.
+  EXPECT_EQ(lagraph::triangle_count(undirected(
+                4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})),
+            4u);
+  // Square without diagonals: none.
+  EXPECT_EQ(lagraph::triangle_count(
+                undirected(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}})),
+            0u);
+  EXPECT_EQ(lagraph::triangle_count(Matrix<Bool>(5, 5)), 0u);
+}
+
+TEST(TriangleCount, MatchesBruteForceOnRandomGraphs) {
+  grbsm::support::Xoshiro256 rng(31);
+  for (int round = 0; round < 4; ++round) {
+    const Index n = 24;
+    std::vector<std::pair<Index, Index>> edges;
+    for (int k = 0; k < 80; ++k) {
+      const Index a = rng.bounded(n);
+      const Index b = rng.bounded(n);
+      if (a != b) edges.emplace_back(a, b);
+    }
+    const auto adj = undirected(n, edges);
+    // Brute force over vertex triples.
+    std::uint64_t expected = 0;
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = i + 1; j < n; ++j) {
+        if (!adj.has(i, j)) continue;
+        for (Index k = j + 1; k < n; ++k) {
+          if (adj.has(i, k) && adj.has(j, k)) ++expected;
+        }
+      }
+    }
+    EXPECT_EQ(lagraph::triangle_count(adj), expected) << "round " << round;
+  }
+}
+
+// --- SSSP -------------------------------------------------------------------
+
+TEST(Sssp, WeightedChain) {
+  const auto w = Matrix<U64>::build(
+      4, 4, {{0, 1, 5}, {1, 2, 3}, {2, 3, 2}});
+  const auto dist = lagraph::sssp(w, 0);
+  EXPECT_EQ(dist, (std::vector<U64>{0, 5, 8, 10}));
+}
+
+TEST(Sssp, PicksShorterOfTwoRoutes) {
+  // 0 -> 2 direct costs 10; 0 -> 1 -> 2 costs 3.
+  const auto w = Matrix<U64>::build(
+      3, 3, {{0, 2, 10}, {0, 1, 1}, {1, 2, 2}});
+  EXPECT_EQ(lagraph::sssp(w, 0)[2], 3u);
+}
+
+TEST(Sssp, UnreachableIsInfinity) {
+  const auto w = Matrix<U64>::build(3, 3, {{0, 1, 1}});
+  const auto dist = lagraph::sssp(w, 0);
+  EXPECT_EQ(dist[2], lagraph::kInfDistance);
+}
+
+TEST(Sssp, ZeroWeightEdgesSupported) {
+  const auto w = Matrix<U64>::build(3, 3, {{0, 1, 0}, {1, 2, 0}});
+  const auto dist = lagraph::sssp(w, 0);
+  EXPECT_EQ(dist[2], 0u);
+}
+
+TEST(Sssp, MatchesBellmanFordOnRandomGraphs) {
+  grbsm::support::Xoshiro256 rng(77);
+  for (int round = 0; round < 3; ++round) {
+    const Index n = 30;
+    std::vector<grb::Tuple<U64>> edges;
+    for (int k = 0; k < 120; ++k) {
+      edges.push_back({rng.bounded(n), rng.bounded(n), rng.bounded(9) + 1});
+    }
+    const auto w = Matrix<U64>::build(n, n, edges, grb::Min<U64>{});
+    const auto dist = lagraph::sssp(w, 0);
+    // Reference Bellman-Ford.
+    std::vector<U64> ref(n, lagraph::kInfDistance);
+    ref[0] = 0;
+    for (Index round2 = 0; round2 < n; ++round2) {
+      for (const auto& t : w.extract_tuples()) {
+        if (ref[t.row] != lagraph::kInfDistance &&
+            ref[t.row] + t.val < ref[t.col]) {
+          ref[t.col] = ref[t.row] + t.val;
+        }
+      }
+    }
+    EXPECT_EQ(dist, ref) << "round " << round;
+  }
+}
+
+TEST(Sssp, BadInputsThrow) {
+  EXPECT_THROW(lagraph::sssp(Matrix<U64>(2, 3), 0), grb::DimensionMismatch);
+  EXPECT_THROW(lagraph::sssp(Matrix<U64>(2, 2), 5), grb::IndexOutOfBounds);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "lagraph/bfs.hpp"
+
+namespace {
+
+using grb::Bool;
+using grb::Index;
+using grb::Matrix;
+
+Matrix<Bool> digraph(Index n,
+                     const std::vector<std::pair<Index, Index>>& edges) {
+  std::vector<grb::Tuple<Bool>> tuples;
+  for (const auto& [a, b] : edges) {
+    tuples.push_back({a, b, 1});
+  }
+  return Matrix<Bool>::build(n, n, std::move(tuples), grb::LOr<Bool>{});
+}
+
+TEST(BfsLevels, Chain) {
+  const auto adj = digraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto levels = lagraph::bfs_levels(adj, 0);
+  EXPECT_EQ(levels, (std::vector<Index>{0, 1, 2, 3}));
+}
+
+TEST(BfsLevels, Unreachable) {
+  const auto adj = digraph(4, {{0, 1}});
+  const auto levels = lagraph::bfs_levels(adj, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], lagraph::kUnreachable);
+  EXPECT_EQ(levels[3], lagraph::kUnreachable);
+}
+
+TEST(BfsLevels, ShortestOfMultiplePaths) {
+  // 0 -> 1 -> 2 -> 4 and 0 -> 3 -> 4: level(4) must be 2.
+  const auto adj = digraph(5, {{0, 1}, {1, 2}, {2, 4}, {0, 3}, {3, 4}});
+  const auto levels = lagraph::bfs_levels(adj, 0);
+  EXPECT_EQ(levels[4], 2u);
+}
+
+TEST(BfsLevels, CycleTerminates) {
+  const auto adj = digraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  const auto levels = lagraph::bfs_levels(adj, 1);
+  EXPECT_EQ(levels[1], 0u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[0], 2u);
+}
+
+TEST(BfsLevels, DirectionMatters) {
+  const auto adj = digraph(3, {{0, 1}, {1, 2}});
+  const auto from2 = lagraph::bfs_levels(adj, 2);
+  EXPECT_EQ(from2[2], 0u);
+  EXPECT_EQ(from2[0], lagraph::kUnreachable);
+}
+
+TEST(BfsLevels, BadInputsThrow) {
+  EXPECT_THROW(lagraph::bfs_levels(Matrix<Bool>(2, 3), 0),
+               grb::DimensionMismatch);
+  EXPECT_THROW(lagraph::bfs_levels(Matrix<Bool>(2, 2), 2),
+               grb::IndexOutOfBounds);
+}
+
+TEST(BfsLevels, SelfLoopOnlyIsLevelZero) {
+  const auto adj = digraph(2, {{0, 0}});
+  const auto levels = lagraph::bfs_levels(adj, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], lagraph::kUnreachable);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lagraph/cc_bfs.hpp"
+#include "lagraph/cc_fastsv.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::Bool;
+using grb::Index;
+using grb::Matrix;
+
+Matrix<Bool> undirected(Index n,
+                        const std::vector<std::pair<Index, Index>>& edges) {
+  std::vector<grb::Tuple<Bool>> tuples;
+  for (const auto& [a, b] : edges) {
+    tuples.push_back({a, b, 1});
+    tuples.push_back({b, a, 1});
+  }
+  return Matrix<Bool>::build(n, n, std::move(tuples), grb::LOr<Bool>{});
+}
+
+TEST(FastSV, EmptyGraphIsAllSingletons) {
+  const auto labels = lagraph::cc_fastsv(Matrix<Bool>(5, 5));
+  for (Index i = 0; i < 5; ++i) EXPECT_EQ(labels[i], i);
+  EXPECT_EQ(lagraph::sum_squared_component_sizes(labels), 5u);
+}
+
+TEST(FastSV, ZeroVertices) {
+  EXPECT_TRUE(lagraph::cc_fastsv(Matrix<Bool>(0, 0)).empty());
+}
+
+TEST(FastSV, SingleEdge) {
+  const auto labels = lagraph::cc_fastsv(undirected(3, {{0, 2}}));
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_EQ(lagraph::sum_squared_component_sizes(labels), 5u);  // 2² + 1²
+}
+
+TEST(FastSV, PathGraph) {
+  const auto labels =
+      lagraph::cc_fastsv(undirected(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}));
+  for (Index i = 1; i < 6; ++i) EXPECT_EQ(labels[i], labels[0]);
+  EXPECT_EQ(labels[0], 0u);  // smallest id labels the component
+}
+
+TEST(FastSV, CycleAndIsolated) {
+  const auto labels =
+      lagraph::cc_fastsv(undirected(5, {{0, 1}, {1, 2}, {2, 0}}));
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 4u);
+}
+
+TEST(FastSV, TwoStarsJoined) {
+  // Star at 0 (0-1, 0-2, 0-3), star at 4 (4-5, 4-6), bridge 3-4.
+  const auto labels = lagraph::cc_fastsv(
+      undirected(7, {{0, 1}, {0, 2}, {0, 3}, {4, 5}, {4, 6}, {3, 4}}));
+  for (Index i = 1; i < 7; ++i) EXPECT_EQ(labels[i], labels[0]);
+}
+
+TEST(FastSV, NonSquareThrows) {
+  EXPECT_THROW(lagraph::cc_fastsv(Matrix<Bool>(2, 3)),
+               grb::DimensionMismatch);
+}
+
+TEST(ComponentSizes, CountsAndSquares) {
+  const std::vector<Index> labels{0, 0, 2, 2, 2, 5};
+  auto sizes = lagraph::component_sizes(labels);
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<Index>{1, 2, 3}));
+  EXPECT_EQ(lagraph::sum_squared_component_sizes(labels), 1u + 4u + 9u);
+}
+
+struct RandomGraph {
+  Index n;
+  std::size_t edges;
+  std::uint64_t seed;
+};
+
+class CcRandomSweep : public ::testing::TestWithParam<RandomGraph> {};
+
+// Property: FastSV and the BFS oracle agree on the partition (same labels,
+// since both label by the smallest reachable vertex).
+TEST_P(CcRandomSweep, FastSvMatchesBfsOracle) {
+  const auto p = GetParam();
+  grbsm::support::Xoshiro256 rng(p.seed);
+  std::vector<std::pair<Index, Index>> edges;
+  for (std::size_t k = 0; k < p.edges; ++k) {
+    const Index a = rng.bounded(p.n);
+    const Index b = rng.bounded(p.n);
+    if (a != b) edges.emplace_back(a, b);
+  }
+  const auto adj = undirected(p.n, edges);
+  EXPECT_EQ(lagraph::cc_fastsv(adj), lagraph::cc_bfs(adj));
+}
+
+TEST_P(CcRandomSweep, LabelsAreCanonicalRepresentatives) {
+  const auto p = GetParam();
+  grbsm::support::Xoshiro256 rng(p.seed + 1000);
+  std::vector<std::pair<Index, Index>> edges;
+  for (std::size_t k = 0; k < p.edges; ++k) {
+    const Index a = rng.bounded(p.n);
+    const Index b = rng.bounded(p.n);
+    if (a != b) edges.emplace_back(a, b);
+  }
+  const auto adj = undirected(p.n, edges);
+  const auto labels = lagraph::cc_fastsv(adj);
+  for (Index i = 0; i < p.n; ++i) {
+    // The label is a member of its own component and a fixed point.
+    EXPECT_EQ(labels[labels[i]], labels[i]);
+    EXPECT_LE(labels[i], i);
+  }
+  // Endpoint labels agree across every edge.
+  for (const auto& [a, b] : edges) {
+    EXPECT_EQ(labels[a], labels[b]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, CcRandomSweep,
+    ::testing::Values(RandomGraph{2, 1, 1}, RandomGraph{10, 5, 2},
+                      RandomGraph{50, 25, 3}, RandomGraph{100, 100, 4},
+                      RandomGraph{300, 150, 5}, RandomGraph{300, 1200, 6},
+                      RandomGraph{1000, 500, 7}, RandomGraph{1000, 3000, 8}));
+
+}  // namespace

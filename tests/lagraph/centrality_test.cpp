@@ -1,0 +1,145 @@
+// Tests for betweenness centrality and k-core decomposition.
+#include <gtest/gtest.h>
+
+#include "lagraph/betweenness.hpp"
+#include "lagraph/kcore.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::Bool;
+using grb::Index;
+using grb::Matrix;
+
+Matrix<Bool> undirected(Index n,
+                        const std::vector<std::pair<Index, Index>>& edges) {
+  std::vector<grb::Tuple<Bool>> t;
+  for (const auto& [a, b] : edges) {
+    t.push_back({a, b, 1});
+    t.push_back({b, a, 1});
+  }
+  return Matrix<Bool>::build(n, n, std::move(t), grb::LOr<Bool>{});
+}
+
+// --- betweenness ------------------------------------------------------------
+
+TEST(Betweenness, PathGraphMiddleDominates) {
+  // 0 - 1 - 2 - 3 - 4: vertex 2 lies on the most shortest paths.
+  const auto adj = undirected(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto bc = lagraph::betweenness_exact(adj);
+  EXPECT_GT(bc[2], bc[1]);
+  EXPECT_GT(bc[1], bc[0]);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+  // Undirected path of 5: exact values (each direction counted) are
+  // 2·(1·3) = 6 for v1/v3 and 2·(2·2) = 8 for v2.
+  EXPECT_DOUBLE_EQ(bc[2], 8.0);
+  EXPECT_DOUBLE_EQ(bc[1], 6.0);
+}
+
+TEST(Betweenness, StarCenterTakesEverything) {
+  const auto adj = undirected(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto bc = lagraph::betweenness_exact(adj);
+  // Center: all 4·3 = 12 ordered leaf pairs route through it.
+  EXPECT_DOUBLE_EQ(bc[0], 12.0);
+  for (Index i = 1; i < 5; ++i) EXPECT_DOUBLE_EQ(bc[i], 0.0);
+}
+
+TEST(Betweenness, CompleteGraphAllZero) {
+  const auto adj = undirected(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  for (const double b : lagraph::betweenness_exact(adj)) {
+    EXPECT_DOUBLE_EQ(b, 0.0);
+  }
+}
+
+TEST(Betweenness, SplitPathsShareDependency) {
+  // Two equal-length routes 0->1->3 and 0->2->3 (directed): each middle
+  // vertex carries half of the 0->3 dependency.
+  std::vector<grb::Tuple<Bool>> t{{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}};
+  const auto adj = Matrix<Bool>::build(4, 4, std::move(t));
+  const std::vector<Index> sources{0};
+  const auto bc = lagraph::betweenness(adj, sources);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+}
+
+TEST(Betweenness, SubsetOfSourcesIsPartialSum) {
+  const auto adj = undirected(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::vector<Index> s0{0};
+  const std::vector<Index> s4{4};
+  const auto from0 = lagraph::betweenness(adj, s0);
+  const auto from4 = lagraph::betweenness(adj, s4);
+  const auto exact = lagraph::betweenness_exact(adj);
+  // Symmetric graph: contributions of the two extreme sources are equal.
+  EXPECT_DOUBLE_EQ(from0[2], from4[2]);
+  EXPECT_LE(from0[2] + from4[2], exact[2]);
+}
+
+TEST(Betweenness, BadInputsThrow) {
+  EXPECT_THROW(lagraph::betweenness_exact(Matrix<Bool>(2, 3)),
+               grb::DimensionMismatch);
+  const auto adj = undirected(2, {{0, 1}});
+  const std::vector<Index> bad{5};
+  EXPECT_THROW(lagraph::betweenness(adj, bad), grb::IndexOutOfBounds);
+}
+
+// --- k-core -----------------------------------------------------------------
+
+TEST(KCore, PathGraphIsOneCore) {
+  const auto core = lagraph::kcore(undirected(4, {{0, 1}, {1, 2}, {2, 3}}));
+  EXPECT_EQ(core, (std::vector<Index>{1, 1, 1, 1}));
+}
+
+TEST(KCore, TriangleWithTailPeelsCorrectly) {
+  // Triangle {0,1,2} plus tail 2-3: triangle is 2-core, tail 1-core.
+  const auto core =
+      lagraph::kcore(undirected(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}));
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+}
+
+TEST(KCore, CompleteGraph) {
+  const auto core = lagraph::kcore(undirected(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}));
+  for (const Index c : core) EXPECT_EQ(c, 3u);
+  EXPECT_EQ(lagraph::max_coreness(undirected(
+                4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})),
+            3u);
+}
+
+TEST(KCore, IsolatedVerticesAreZeroCore) {
+  const auto core = lagraph::kcore(undirected(3, {{0, 1}}));
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(lagraph::max_coreness(Matrix<Bool>(4, 4)), 0u);
+}
+
+TEST(KCore, CorenessInvariantsOnRandomGraphs) {
+  grbsm::support::Xoshiro256 rng(55);
+  for (int round = 0; round < 4; ++round) {
+    const Index n = 60;
+    std::vector<std::pair<Index, Index>> edges;
+    for (int k = 0; k < 200; ++k) {
+      const Index a = rng.bounded(n);
+      const Index b = rng.bounded(n);
+      if (a != b) edges.emplace_back(a, b);
+    }
+    const auto adj = undirected(n, edges);
+    const auto core = lagraph::kcore(adj);
+    for (Index v = 0; v < n; ++v) {
+      // Coreness never exceeds degree.
+      ASSERT_LE(core[v], adj.row_degree(v));
+      // Definition check: v has ≥ core[v] neighbours with coreness ≥
+      // core[v] (they survive the same peeling rounds).
+      Index strong = 0;
+      for (const Index u : adj.row_cols(v)) {
+        if (core[u] >= core[v]) ++strong;
+      }
+      ASSERT_GE(strong, core[v]) << "vertex " << v;
+    }
+  }
+}
+
+}  // namespace

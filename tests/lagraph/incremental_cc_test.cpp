@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lagraph/cc_fastsv.hpp"
+#include "lagraph/incremental_cc.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::Bool;
+using grb::Index;
+using lagraph::IncrementalCC;
+
+TEST(IncrementalCC, StartsAsSingletons) {
+  IncrementalCC cc(4);
+  EXPECT_EQ(cc.num_nodes(), 4u);
+  EXPECT_EQ(cc.num_components(), 4u);
+  EXPECT_EQ(cc.sum_squared_sizes(), 4u);
+  EXPECT_FALSE(cc.connected(0, 3));
+}
+
+TEST(IncrementalCC, AddEdgeMergesAndUpdatesSumSquares) {
+  IncrementalCC cc(4);
+  EXPECT_TRUE(cc.add_edge(0, 1));
+  EXPECT_EQ(cc.num_components(), 3u);
+  EXPECT_EQ(cc.sum_squared_sizes(), 4u + 1u + 1u);  // 2² + 1 + 1
+  EXPECT_TRUE(cc.add_edge(2, 3));
+  EXPECT_EQ(cc.sum_squared_sizes(), 8u);
+  EXPECT_TRUE(cc.add_edge(1, 2));
+  EXPECT_EQ(cc.num_components(), 1u);
+  EXPECT_EQ(cc.sum_squared_sizes(), 16u);
+}
+
+TEST(IncrementalCC, RedundantEdgeIsNoop) {
+  IncrementalCC cc(3);
+  EXPECT_TRUE(cc.add_edge(0, 1));
+  EXPECT_FALSE(cc.add_edge(1, 0));
+  EXPECT_FALSE(cc.add_edge(0, 0));
+  EXPECT_EQ(cc.sum_squared_sizes(), 5u);
+}
+
+TEST(IncrementalCC, AddNodeExtends) {
+  IncrementalCC cc(2);
+  const Index id = cc.add_node();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(cc.num_nodes(), 3u);
+  EXPECT_EQ(cc.sum_squared_sizes(), 3u);
+  cc.add_edge(id, 0);
+  EXPECT_EQ(cc.size_of(0), 2u);
+}
+
+TEST(IncrementalCC, ResetReinitialises) {
+  IncrementalCC cc(3);
+  cc.add_edge(0, 1);
+  cc.reset(5);
+  EXPECT_EQ(cc.num_components(), 5u);
+  EXPECT_EQ(cc.sum_squared_sizes(), 5u);
+  EXPECT_FALSE(cc.connected(0, 1));
+}
+
+TEST(IncrementalCC, OutOfBoundsThrows) {
+  IncrementalCC cc(2);
+  EXPECT_THROW((void)cc.find(2), grb::IndexOutOfBounds);
+  EXPECT_THROW(cc.add_edge(0, 5), grb::IndexOutOfBounds);
+}
+
+struct StreamCase {
+  Index n;
+  std::size_t edges;
+  std::uint64_t seed;
+};
+
+class IncrementalStreamSweep : public ::testing::TestWithParam<StreamCase> {};
+
+// Property: after every insertion, the incremental structure agrees with a
+// full FastSV recomputation — the exact equivalence the paper's future-work
+// item (2) relies on.
+TEST_P(IncrementalStreamSweep, MatchesFastSvAfterEveryInsert) {
+  const auto p = GetParam();
+  grbsm::support::Xoshiro256 rng(p.seed);
+  IncrementalCC cc(p.n);
+  std::vector<grb::Tuple<Bool>> sofar;
+  for (std::size_t k = 0; k < p.edges; ++k) {
+    const Index a = rng.bounded(p.n);
+    const Index b = rng.bounded(p.n);
+    if (a == b) continue;
+    cc.add_edge(a, b);
+    sofar.push_back({a, b, 1});
+    sofar.push_back({b, a, 1});
+    const auto adj =
+        grb::Matrix<Bool>::build(p.n, p.n, sofar, grb::LOr<Bool>{});
+    const auto labels = lagraph::cc_fastsv(adj);
+    ASSERT_EQ(cc.sum_squared_sizes(),
+              lagraph::sum_squared_component_sizes(labels))
+        << "after edge " << k;
+    ASSERT_EQ(cc.num_components(),
+              lagraph::component_sizes(labels).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IncrementalStreamSweep,
+                         ::testing::Values(StreamCase{4, 10, 1},
+                                           StreamCase{12, 30, 2},
+                                           StreamCase{40, 60, 3},
+                                           StreamCase{100, 80, 4}));
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "model/change.hpp"
+#include "model/io.hpp"
+
+namespace {
+
+using sm::ChangeOp;
+using sm::ChangeSet;
+
+TEST(Change, ApplyInsertsInOrder) {
+  sm::SocialGraph g;
+  g.add_user(1);
+  g.add_post(10, 0);
+  ChangeSet cs;
+  cs.ops.push_back(sm::AddUser{2});
+  cs.ops.push_back(sm::AddComment{20, 5, false, 10, 1});
+  cs.ops.push_back(sm::AddLikes{2, 20});          // refers to both new items
+  cs.ops.push_back(sm::AddFriendship{1, 2});
+  sm::apply_change_set(g, cs);
+  EXPECT_EQ(g.num_users(), 2u);
+  EXPECT_EQ(g.num_comments(), 1u);
+  EXPECT_TRUE(g.has_likes(2, 20));
+  EXPECT_TRUE(g.has_friendship(1, 2));
+}
+
+TEST(Change, ApplyToleratesDuplicateEdges) {
+  sm::SocialGraph g;
+  g.add_user(1);
+  g.add_user(2);
+  g.add_friendship(1, 2);
+  ChangeSet cs;
+  cs.ops.push_back(sm::AddFriendship{2, 1});
+  sm::apply_change_set(g, cs);  // no throw
+  EXPECT_EQ(g.num_friendships(), 1u);
+}
+
+TEST(Change, TotalInsertsCountsOps) {
+  ChangeSet a, b;
+  a.ops.push_back(sm::AddUser{1});
+  a.ops.push_back(sm::AddUser{2});
+  b.ops.push_back(sm::AddFriendship{1, 2});
+  EXPECT_EQ(sm::total_inserts({a, b}), 3u);
+}
+
+TEST(ChangeRecord, RoundTripsThroughCsvFields) {
+  const std::vector<ChangeOp> ops = {
+      sm::AddUser{7},
+      sm::AddPost{8, -12345, 7},
+      sm::AddComment{9, 99, true, 8, 7},
+      sm::AddComment{10, 100, false, 8, 7},
+      sm::AddLikes{7, 9},
+      sm::AddFriendship{7, 11},
+  };
+  for (const ChangeOp& op : ops) {
+    const auto fields = sm::change_record_fields(op);
+    const ChangeOp parsed = sm::parse_change_record(fields);
+    EXPECT_EQ(parsed, op);
+  }
+}
+
+TEST(ChangeRecord, MalformedRecordsThrow) {
+  EXPECT_THROW(sm::parse_change_record({}), grb::InvalidValue);
+  EXPECT_THROW(sm::parse_change_record({"X", "1"}), grb::InvalidValue);
+  EXPECT_THROW(sm::parse_change_record({"U"}), grb::InvalidValue);
+  EXPECT_THROW(sm::parse_change_record({"L", "1"}), grb::InvalidValue);
+  EXPECT_THROW(sm::parse_change_record({"C", "1", "2", "Q", "3", "4"}),
+               grb::InvalidValue);
+  EXPECT_THROW(sm::parse_change_record({"U", "notanumber"}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "harness/registry.hpp"
+#include "model/io.hpp"
+#include "paper_example.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("grbsm_io_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+bool graphs_equal(const sm::SocialGraph& a, const sm::SocialGraph& b) {
+  if (a.num_users() != b.num_users() || a.num_posts() != b.num_posts() ||
+      a.num_comments() != b.num_comments() ||
+      a.num_friendships() != b.num_friendships() ||
+      a.num_likes() != b.num_likes()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.num_posts(); ++i) {
+    if (a.post(i).id != b.post(i).id ||
+        a.post(i).timestamp != b.post(i).timestamp ||
+        a.post(i).comments != b.post(i).comments) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.num_comments(); ++i) {
+    const auto& ca = a.comment(i);
+    const auto& cb = b.comment(i);
+    if (ca.id != cb.id || ca.timestamp != cb.timestamp ||
+        ca.root_post != cb.root_post || ca.likers != cb.likers) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.num_users(); ++i) {
+    if (a.user(i).id != b.user(i).id ||
+        a.user(i).friends != b.user(i).friends) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST_F(IoTest, InitialGraphRoundTrip) {
+  const auto g = paper_example::initial_graph();
+  sm::save_initial(g, dir_);
+  const auto loaded = sm::load_initial(dir_);
+  EXPECT_TRUE(graphs_equal(g, loaded));
+}
+
+TEST_F(IoTest, ChangeSetsRoundTrip) {
+  std::vector<sm::ChangeSet> sets;
+  sets.push_back(paper_example::update_change_set());
+  sm::ChangeSet second;
+  second.ops.push_back(sm::AddUser{999});
+  sets.push_back(second);
+  sm::save_change_sets(sets, dir_);
+  const auto loaded = sm::load_change_sets(dir_);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].ops, sets[0].ops);
+  EXPECT_EQ(loaded[1].ops, sets[1].ops);
+}
+
+TEST_F(IoTest, LoadStopsAtFirstMissingChangeFile) {
+  sm::save_change_sets({paper_example::update_change_set()}, dir_);
+  const auto loaded = sm::load_change_sets(dir_);
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST_F(IoTest, MissingUsersFileThrows) {
+  EXPECT_THROW(sm::load_initial(dir_), std::runtime_error);
+}
+
+TEST_F(IoTest, RoundTripPreservesQueryAnswers) {
+  // End-to-end: answers computed from the reloaded dataset must match the
+  // paper's expected answers.
+  sm::save_initial(paper_example::initial_graph(), dir_);
+  sm::save_change_sets({paper_example::update_change_set()}, dir_);
+  const auto g = sm::load_initial(dir_);
+  const auto sets = sm::load_change_sets(dir_);
+  auto engine = harness::make_engine("grb-incremental", harness::Query::kQ2);
+  engine->load(g);
+  EXPECT_EQ(engine->initial(), paper_example::kQ2Initial);
+  EXPECT_EQ(engine->update(sets.at(0)), paper_example::kQ2Updated);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "model/social_graph.hpp"
+
+namespace {
+
+using sm::SocialGraph;
+
+TEST(SocialGraph, AddEntitiesAssignsDenseIdsInOrder) {
+  SocialGraph g;
+  EXPECT_EQ(g.add_user(100), 0u);
+  EXPECT_EQ(g.add_user(200), 1u);
+  EXPECT_EQ(g.add_post(1, 10), 0u);
+  EXPECT_EQ(g.add_post(2, 20), 1u);
+  EXPECT_EQ(g.num_users(), 2u);
+  EXPECT_EQ(g.num_posts(), 2u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+TEST(SocialGraph, DuplicateIdsRejected) {
+  SocialGraph g;
+  g.add_user(1);
+  EXPECT_THROW(g.add_user(1), grb::InvalidValue);
+  g.add_post(7, 0);
+  EXPECT_THROW(g.add_post(7, 1), grb::InvalidValue);
+  g.add_comment(9, 0, false, 7);
+  EXPECT_THROW(g.add_comment(9, 0, false, 7), grb::InvalidValue);
+}
+
+TEST(SocialGraph, CommentResolvesRootThroughChain) {
+  SocialGraph g;
+  g.add_post(1, 0);
+  g.add_comment(10, 1, /*parent_is_comment=*/false, 1);
+  g.add_comment(11, 2, /*parent_is_comment=*/true, 10);
+  g.add_comment(12, 3, /*parent_is_comment=*/true, 11);
+  EXPECT_EQ(g.comment(0).root_post, 0u);
+  EXPECT_EQ(g.comment(1).root_post, 0u);
+  EXPECT_EQ(g.comment(2).root_post, 0u);
+  // All three registered in the post's comment list, in order.
+  EXPECT_EQ(g.post(0).comments, (std::vector<sm::DenseId>{0, 1, 2}));
+}
+
+TEST(SocialGraph, CommentUnknownParentThrows) {
+  SocialGraph g;
+  EXPECT_THROW(g.add_comment(5, 0, false, 99), grb::InvalidValue);
+  EXPECT_THROW(g.add_comment(5, 0, true, 99), grb::InvalidValue);
+}
+
+TEST(SocialGraph, LikesAreSetSemantics) {
+  SocialGraph g;
+  g.add_user(1);
+  g.add_post(2, 0);
+  g.add_comment(3, 1, false, 2);
+  EXPECT_TRUE(g.add_likes(1, 3));
+  EXPECT_FALSE(g.add_likes(1, 3));  // duplicate ignored
+  EXPECT_EQ(g.num_likes(), 1u);
+  EXPECT_TRUE(g.has_likes(1, 3));
+  EXPECT_FALSE(g.has_likes(1, 99));
+  EXPECT_EQ(g.user(0).liked_comments, (std::vector<sm::DenseId>{0}));
+}
+
+TEST(SocialGraph, FriendshipSymmetricSetSemantics) {
+  SocialGraph g;
+  g.add_user(1);
+  g.add_user(2);
+  EXPECT_TRUE(g.add_friendship(1, 2));
+  EXPECT_FALSE(g.add_friendship(2, 1));  // same edge
+  EXPECT_EQ(g.num_friendships(), 1u);
+  EXPECT_TRUE(g.has_friendship(1, 2));
+  EXPECT_TRUE(g.has_friendship(2, 1));
+  EXPECT_EQ(g.user(0).friends, (std::vector<sm::DenseId>{1}));
+  EXPECT_EQ(g.user(1).friends, (std::vector<sm::DenseId>{0}));
+}
+
+TEST(SocialGraph, SelfFriendshipRejected) {
+  SocialGraph g;
+  g.add_user(1);
+  EXPECT_THROW(g.add_friendship(1, 1), grb::InvalidValue);
+}
+
+TEST(SocialGraph, EdgeAccountingMatchesTable2Definition) {
+  SocialGraph g;
+  g.add_user(1);
+  g.add_user(2);
+  g.add_post(10, 0);
+  g.add_comment(20, 1, false, 10);
+  g.add_comment(21, 2, true, 20);
+  g.add_friendship(1, 2);
+  g.add_likes(1, 20);
+  // friends(1) + likes(1) + 2 edges per comment (commented + rootPost).
+  EXPECT_EQ(g.num_edges(), 1u + 1u + 4u);
+}
+
+TEST(SocialGraph, FindAndRequire) {
+  SocialGraph g;
+  g.add_user(42);
+  EXPECT_EQ(g.find_user(42).value(), 0u);
+  EXPECT_FALSE(g.find_user(43).has_value());
+  EXPECT_EQ(g.require_user(42), 0u);
+  EXPECT_THROW((void)g.require_user(43), grb::InvalidValue);
+  EXPECT_THROW((void)g.require_post(1), grb::InvalidValue);
+  EXPECT_THROW((void)g.require_comment(1), grb::InvalidValue);
+}
+
+TEST(SocialGraph, LikesUnknownEntitiesThrow) {
+  SocialGraph g;
+  g.add_user(1);
+  EXPECT_THROW(g.add_likes(1, 5), grb::InvalidValue);
+  EXPECT_THROW(g.add_likes(9, 5), grb::InvalidValue);
+  EXPECT_THROW(g.add_friendship(1, 9), grb::InvalidValue);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+// The worked example of the paper (Fig. 3): two posts, three comments, four
+// users, two friendships, five likes — and the update that inserts six
+// elements (Fig. 3b). Tests assert the exact scores the paper derives:
+//   initial:  Q1 p1=25 p2=10;  Q2 c1=4 c2=5 c3=0
+//   updated:  Q1 p1=37 p2=10;  Q2 c1=4 c2=16 c3=0 c4=1
+#pragma once
+
+#include "model/change.hpp"
+#include "model/social_graph.hpp"
+
+namespace paper_example {
+
+// External ids: posts 1-2, comments 11-14, users 101-104.
+inline constexpr sm::NodeId kP1 = 1, kP2 = 2;
+inline constexpr sm::NodeId kC1 = 11, kC2 = 12, kC3 = 13, kC4 = 14;
+inline constexpr sm::NodeId kU1 = 101, kU2 = 102, kU3 = 103, kU4 = 104;
+
+inline sm::SocialGraph initial_graph() {
+  sm::SocialGraph g;
+  g.add_user(kU1);
+  g.add_user(kU2);
+  g.add_user(kU3);
+  g.add_user(kU4);
+  g.add_post(kP1, 1000);
+  g.add_post(kP2, 2000);
+  g.add_comment(kC1, 1100, /*parent_is_comment=*/false, kP1);
+  g.add_comment(kC2, 1200, /*parent_is_comment=*/true, kC1);
+  g.add_comment(kC3, 2100, /*parent_is_comment=*/false, kP2);
+  g.add_friendship(kU2, kU3);
+  g.add_friendship(kU3, kU4);
+  g.add_likes(kU2, kC1);
+  g.add_likes(kU3, kC1);
+  g.add_likes(kU1, kC2);
+  g.add_likes(kU3, kC2);
+  g.add_likes(kU4, kC2);
+  return g;
+}
+
+/// The Fig. 3b update: friendship u1-u4, like u2->c2, comment c4 under c1
+/// (rooted at p1), like u4->c4 — six inserted elements.
+inline sm::ChangeSet update_change_set() {
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddFriendship{kU1, kU4});
+  cs.ops.push_back(sm::AddLikes{kU2, kC2});
+  cs.ops.push_back(
+      sm::AddComment{kC4, 1300, /*parent_is_comment=*/true, kC1, kU4});
+  cs.ops.push_back(sm::AddLikes{kU4, kC4});
+  return cs;
+}
+
+// Expected contest answers (score desc, then newer timestamp, then lower id).
+inline constexpr const char* kQ1Initial = "1|2";   // p1=25, p2=10
+inline constexpr const char* kQ1Updated = "1|2";   // p1=37, p2=10
+inline constexpr const char* kQ2Initial = "12|11|13";  // c2=5, c1=4, c3=0
+inline constexpr const char* kQ2Updated = "12|11|14";  // c2=16, c1=4, c4=1
+
+}  // namespace paper_example

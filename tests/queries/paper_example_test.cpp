@@ -1,0 +1,140 @@
+// Integration tests pinning the paper's worked example (Fig. 3 / Fig. 4):
+// exact per-entity scores and contest answers, before and after the update,
+// across every engine. These are the ground-truth anchors for the whole
+// reproduction: if these pass, the algebra matches the paper's derivation.
+#include <gtest/gtest.h>
+
+#include "harness/registry.hpp"
+#include "nmf/nmf_batch.hpp"
+#include "paper_example.hpp"
+#include "queries/engines.hpp"
+#include "queries/q1.hpp"
+#include "queries/q2.hpp"
+
+namespace {
+
+using namespace paper_example;
+using harness::Query;
+
+TEST(PaperExample, InitialGraphShape) {
+  const auto g = initial_graph();
+  EXPECT_EQ(g.num_users(), 4u);
+  EXPECT_EQ(g.num_posts(), 2u);
+  EXPECT_EQ(g.num_comments(), 3u);
+  EXPECT_EQ(g.num_friendships(), 2u);
+  EXPECT_EQ(g.num_likes(), 5u);
+  // Table II accounting: friends + likes + commented + rootPost.
+  EXPECT_EQ(g.num_edges(), 2u + 5u + 2u * 3u);
+}
+
+TEST(PaperExample, GrbStateMatricesMatchFig4) {
+  const auto state = queries::GrbState::from_graph(initial_graph());
+  // RootPost ∈ B^{2×3}: p1 roots c1, c2; p2 roots c3.
+  EXPECT_EQ(state.root_post().nrows(), 2u);
+  EXPECT_EQ(state.root_post().ncols(), 3u);
+  EXPECT_TRUE(state.root_post().has(0, 0));
+  EXPECT_TRUE(state.root_post().has(0, 1));
+  EXPECT_TRUE(state.root_post().has(1, 2));
+  EXPECT_EQ(state.root_post().nvals(), 3u);
+  // Likes ∈ B^{3×4}: c1 ← u2, u3; c2 ← u1, u3, u4.
+  EXPECT_EQ(state.likes().nvals(), 5u);
+  EXPECT_TRUE(state.likes().has(0, 1));
+  EXPECT_TRUE(state.likes().has(0, 2));
+  EXPECT_TRUE(state.likes().has(1, 0));
+  EXPECT_TRUE(state.likes().has(1, 2));
+  EXPECT_TRUE(state.likes().has(1, 3));
+  // Friends symmetric: u2-u3, u3-u4 stored both ways.
+  EXPECT_EQ(state.friends().nvals(), 4u);
+  // likesCount = [2, 3, (none)].
+  EXPECT_EQ(state.likes_count().at_or(0, 0), 2u);
+  EXPECT_EQ(state.likes_count().at_or(1, 0), 3u);
+  EXPECT_EQ(state.likes_count().at_or(2, 0), 0u);
+}
+
+TEST(PaperExample, Q1BatchScoresMatchFig4a) {
+  const auto state = queries::GrbState::from_graph(initial_graph());
+  const auto scores = queries::q1_batch_scores(state);
+  EXPECT_EQ(scores.at_or(0, 0), 25u);  // p1 = 10·2 + (2+3)
+  EXPECT_EQ(scores.at_or(1, 0), 10u);  // p2 = 10·1 + 0
+}
+
+TEST(PaperExample, Q2BatchScoresMatchFig4b) {
+  const auto state = queries::GrbState::from_graph(initial_graph());
+  const auto scores = queries::q2_batch_scores(state);
+  EXPECT_EQ(scores.at_or(0, 0), 4u);  // c1: {u2,u3} one component → 2²
+  EXPECT_EQ(scores.at_or(1, 0), 5u);  // c2: {u1} ∪ {u3,u4} → 1² + 2²
+  EXPECT_EQ(scores.at_or(2, 0), 0u);  // c3: nobody likes it
+}
+
+TEST(PaperExample, Q1IncrementalMatchesFig4aUpdate) {
+  auto state = queries::GrbState::from_graph(initial_graph());
+  auto scores = queries::q1_batch_scores(state);
+  const auto delta = state.apply_change_set(update_change_set());
+  const auto changed = queries::q1_incremental_update(state, delta, scores);
+  // scores⁺ = 12 for p1 only (Fig. 4a: repliesSc⁺=10, likesSc⁺=2).
+  EXPECT_EQ(changed.nvals(), 1u);
+  EXPECT_EQ(changed.at_or(0, 0), 37u);  // Δscores reports the new total
+  EXPECT_EQ(scores.at_or(0, 0), 37u);
+  EXPECT_EQ(scores.at_or(1, 0), 10u);
+}
+
+TEST(PaperExample, Q2AffectedSetMatchesFig4b) {
+  auto state = queries::GrbState::from_graph(initial_graph());
+  const auto delta = state.apply_change_set(update_change_set());
+  // ac = {c2 (new friendship u1-u4 inside fan set ∪ new like), c4 (new)}.
+  const auto affected = queries::q2_affected_comments(state, delta);
+  EXPECT_EQ(affected, (std::vector<grb::Index>{1, 3}));
+}
+
+TEST(PaperExample, Q2IncrementalMatchesFig4bUpdate) {
+  auto state = queries::GrbState::from_graph(initial_graph());
+  auto scores = queries::q2_batch_scores(state);
+  const auto delta = state.apply_change_set(update_change_set());
+  const auto changed = queries::q2_incremental_update(state, delta, scores);
+  EXPECT_EQ(changed.at_or(1, 0), 16u);  // c2: single component of size 4
+  EXPECT_EQ(changed.at_or(3, 0), 1u);   // c4: {u4}
+  EXPECT_EQ(scores.at_or(0, 0), 4u);    // c1 untouched
+  EXPECT_EQ(scores.at_or(1, 0), 16u);
+  EXPECT_EQ(scores.at_or(3, 0), 1u);
+}
+
+TEST(PaperExample, NmfScoresAgree) {
+  const auto g = initial_graph();
+  EXPECT_EQ(nmf::q1_score_of_post(g, 0), 25u);
+  EXPECT_EQ(nmf::q1_score_of_post(g, 1), 10u);
+  EXPECT_EQ(nmf::q2_score_of_comment(g, 0), 4u);
+  EXPECT_EQ(nmf::q2_score_of_comment(g, 1), 5u);
+  EXPECT_EQ(nmf::q2_score_of_comment(g, 2), 0u);
+  auto g2 = g;
+  sm::apply_change_set(g2, update_change_set());
+  EXPECT_EQ(nmf::q1_score_of_post(g2, 0), 37u);
+  EXPECT_EQ(nmf::q2_score_of_comment(g2, 1), 16u);
+  EXPECT_EQ(nmf::q2_score_of_comment(g2, 3), 1u);
+}
+
+class PaperExampleAllEngines
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperExampleAllEngines, AnswersMatchPaper) {
+  const auto& tool = harness::find_tool(GetParam());
+  for (const Query q : {Query::kQ1, Query::kQ2}) {
+    auto engine = harness::make_engine(tool.key, q);
+    engine->load(initial_graph());
+    const std::string initial = engine->initial();
+    const std::string updated = engine->update(update_change_set());
+    if (q == Query::kQ1) {
+      EXPECT_EQ(initial, kQ1Initial) << tool.label;
+      EXPECT_EQ(updated, kQ1Updated) << tool.label;
+    } else {
+      EXPECT_EQ(initial, kQ2Initial) << tool.label;
+      EXPECT_EQ(updated, kQ2Updated) << tool.label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTools, PaperExampleAllEngines,
+                         ::testing::Values("grb-batch", "grb-incremental",
+                                           "grb-incremental-cc", "nmf-batch",
+                                           "nmf-incremental"));
+
+}  // namespace

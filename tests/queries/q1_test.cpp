@@ -1,0 +1,122 @@
+// Q1 unit and property tests: batch against a hand-rolled model evaluation,
+// incremental against batch over randomised change streams.
+#include <gtest/gtest.h>
+
+#include "datagen/generator.hpp"
+#include "nmf/nmf_batch.hpp"
+#include "queries/grb_state.hpp"
+#include "queries/q1.hpp"
+
+namespace {
+
+using queries::GrbState;
+using U64 = std::uint64_t;
+
+TEST(Q1Batch, EmptyGraph) {
+  const auto state = GrbState::from_graph(sm::SocialGraph{});
+  const auto scores = queries::q1_batch_scores(state);
+  EXPECT_EQ(scores.size(), 0u);
+}
+
+TEST(Q1Batch, PostWithoutCommentsScoresZero) {
+  sm::SocialGraph g;
+  g.add_post(1, 0);
+  const auto scores = queries::q1_batch_scores(GrbState::from_graph(g));
+  EXPECT_EQ(scores.at_or(0, 0), 0u);
+}
+
+TEST(Q1Batch, DeepCommentChainCountsAllDescendants) {
+  sm::SocialGraph g;
+  g.add_user(100);
+  g.add_post(1, 0);
+  g.add_comment(10, 1, false, 1);
+  g.add_comment(11, 2, true, 10);
+  g.add_comment(12, 3, true, 11);
+  g.add_likes(100, 12);
+  const auto scores = queries::q1_batch_scores(GrbState::from_graph(g));
+  EXPECT_EQ(scores.at_or(0, 0), 31u);  // 3 comments ×10 + 1 like
+}
+
+TEST(Q1Batch, LikesOnlyCountTowardsRootPost) {
+  sm::SocialGraph g;
+  g.add_user(100);
+  g.add_post(1, 0);
+  g.add_post(2, 0);
+  g.add_comment(10, 1, false, 1);
+  g.add_comment(20, 1, false, 2);
+  g.add_likes(100, 10);
+  const auto scores = queries::q1_batch_scores(GrbState::from_graph(g));
+  EXPECT_EQ(scores.at_or(0, 0), 11u);
+  EXPECT_EQ(scores.at_or(1, 0), 10u);
+}
+
+TEST(Q1Incremental, EmptyChangeSetChangesNothing) {
+  sm::SocialGraph g;
+  g.add_post(1, 0);
+  auto state = GrbState::from_graph(g);
+  auto scores = queries::q1_batch_scores(state);
+  const auto delta = state.apply_change_set(sm::ChangeSet{});
+  const auto changed = queries::q1_incremental_update(state, delta, scores);
+  EXPECT_EQ(changed.nvals(), 0u);
+}
+
+TEST(Q1Incremental, NewPostThenCommentOnIt) {
+  sm::SocialGraph g;
+  g.add_user(100);
+  g.add_post(1, 0);
+  auto state = GrbState::from_graph(g);
+  auto scores = queries::q1_batch_scores(state);
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddPost{2, 5, 100});
+  cs.ops.push_back(sm::AddComment{10, 6, false, 2, 100});
+  cs.ops.push_back(sm::AddLikes{100, 10});
+  const auto delta = state.apply_change_set(cs);
+  const auto changed = queries::q1_incremental_update(state, delta, scores);
+  EXPECT_EQ(scores.at_or(1, 0), 11u);  // the new post
+  EXPECT_EQ(changed.at_or(1, 0), 11u);
+  EXPECT_EQ(changed.nvals(), 1u);     // old post untouched
+}
+
+TEST(Q1Incremental, DuplicateLikeInChangeSetIgnored) {
+  sm::SocialGraph g;
+  g.add_user(100);
+  g.add_post(1, 0);
+  g.add_comment(10, 1, false, 1);
+  g.add_likes(100, 10);
+  auto state = GrbState::from_graph(g);
+  auto scores = queries::q1_batch_scores(state);
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddLikes{100, 10});  // already present
+  const auto delta = state.apply_change_set(cs);
+  const auto changed = queries::q1_incremental_update(state, delta, scores);
+  EXPECT_EQ(changed.nvals(), 0u);
+  EXPECT_EQ(scores.at_or(0, 0), 11u);
+}
+
+class Q1StreamSweep : public ::testing::TestWithParam<unsigned> {};
+
+// Property: after every change set of a generated stream, the incrementally
+// maintained scores equal a from-scratch batch evaluation, and both agree
+// with the object-model (NMF) scoring.
+TEST_P(Q1StreamSweep, IncrementalMatchesBatchAndModel) {
+  const auto ds = datagen::generate(datagen::params_for_scale(GetParam()));
+  auto state = GrbState::from_graph(ds.initial);
+  auto inc_scores = queries::q1_batch_scores(state);
+  sm::SocialGraph model = ds.initial;
+  for (const auto& cs : ds.changes) {
+    const auto delta = state.apply_change_set(cs);
+    queries::q1_incremental_update(state, delta, inc_scores);
+    const auto batch = queries::q1_batch_scores(state);
+    sm::apply_change_set(model, cs);
+    ASSERT_EQ(state.num_posts(), model.num_posts());
+    for (grb::Index p = 0; p < state.num_posts(); ++p) {
+      ASSERT_EQ(inc_scores.at_or(p, 0), batch.at_or(p, 0)) << "post " << p;
+      ASSERT_EQ(inc_scores.at_or(p, 0), nmf::q1_score_of_post(model, p))
+          << "post " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, Q1StreamSweep, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "queries/top_k.hpp"
+
+namespace {
+
+using queries::Ranked;
+using queries::TopK;
+
+TEST(Ranking, ScoreDominates) {
+  EXPECT_TRUE(queries::ranks_before({1, 10, 0}, {2, 5, 100}));
+  EXPECT_FALSE(queries::ranks_before({1, 5, 100}, {2, 10, 0}));
+}
+
+TEST(Ranking, TimestampBreaksScoreTies) {
+  // More recent first (contest rule).
+  EXPECT_TRUE(queries::ranks_before({1, 5, 200}, {2, 5, 100}));
+  EXPECT_FALSE(queries::ranks_before({1, 5, 100}, {2, 5, 200}));
+}
+
+TEST(Ranking, IdBreaksFullTies) {
+  EXPECT_TRUE(queries::ranks_before({1, 5, 100}, {2, 5, 100}));
+  EXPECT_FALSE(queries::ranks_before({2, 5, 100}, {1, 5, 100}));
+}
+
+TEST(TopK, KeepsBestThreeSorted) {
+  TopK t(3);
+  t.offer({1, 10, 0});
+  t.offer({2, 30, 0});
+  t.offer({3, 20, 0});
+  t.offer({4, 5, 0});
+  EXPECT_EQ(t.answer(), "2|3|1");
+  EXPECT_EQ(t.entries().size(), 3u);
+}
+
+TEST(TopK, FewerThanKEntities) {
+  TopK t(3);
+  t.offer({7, 1, 0});
+  EXPECT_EQ(t.answer(), "7");
+  t.offer({8, 2, 0});
+  EXPECT_EQ(t.answer(), "8|7");
+}
+
+TEST(TopK, ReofferReplacesStaleScore) {
+  TopK t(3);
+  t.offer({1, 10, 0});
+  t.offer({2, 20, 0});
+  t.offer({3, 30, 0});
+  t.offer({1, 100, 0});  // entity 1 improved
+  EXPECT_EQ(t.answer(), "1|3|2");
+  EXPECT_EQ(t.entries().size(), 3u);
+}
+
+TEST(TopK, MonotoneStreamMaintainsAnswer) {
+  // The incremental engines' contract: offering every changed entity keeps
+  // the answer identical to a full rescan, as long as scores never decrease.
+  std::vector<Ranked> all = {
+      {1, 5, 10}, {2, 5, 20}, {3, 7, 5}, {4, 0, 99}, {5, 2, 50}};
+  TopK incremental = queries::top_k_of(3, all);
+  // Entity 4 jumps to the top.
+  for (auto& r : all) {
+    if (r.id == 4) r.score = 100;
+  }
+  incremental.offer({4, 100, 99});
+  EXPECT_EQ(incremental.answer(), queries::top_k_of(3, all).answer());
+}
+
+TEST(TopK, ZeroScoreEntitiesRankByRecency) {
+  TopK t(3);
+  t.offer({1, 0, 100});
+  t.offer({2, 0, 300});
+  t.offer({3, 0, 200});
+  EXPECT_EQ(t.answer(), "2|3|1");
+}
+
+TEST(TopKOf, FullScanAgainstManualOrder) {
+  const std::vector<Ranked> all = {
+      {10, 3, 5}, {11, 3, 9}, {12, 1, 0}, {13, 9, 1}, {14, 3, 9}};
+  // Order: 13 (9) > 11 (3, ts9, id11) > 14 (3, ts9, id14) > 10 > 12.
+  EXPECT_EQ(queries::top_k_of(3, all).answer(), "13|11|14");
+  EXPECT_EQ(queries::top_k_of(1, all).answer(), "13");
+  EXPECT_EQ(queries::top_k_of(5, all).entries().size(), 5u);
+}
+
+TEST(TopK, ClearEmptiesAnswer) {
+  TopK t(3);
+  t.offer({1, 1, 1});
+  t.clear();
+  EXPECT_EQ(t.answer(), "");
+}
+
+}  // namespace

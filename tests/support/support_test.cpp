@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/csv.hpp"
+#include "support/flags.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace grbsm::support;
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, XoshiroDeterministicAndSeedSensitive) {
+  Xoshiro256 a(1), b(1), c(2);
+  EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 a2(1);
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a2.next() != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInRangeAndCoversIt) {
+  Xoshiro256 rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.bounded(10);
+    ASSERT_LT(v, 10u);
+    ++hits[v];
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 700);  // roughly uniform
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(5, 7);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 7u);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Zipf, DomainOneAlwaysReturnsOne) {
+  ZipfSampler zipf(1, 1.2);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.sample(rng), 1u);
+  }
+}
+
+TEST(Csv, SplitBasicAndQuoted) {
+  EXPECT_EQ(split_csv_line("a|b|c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv_line("a||c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split_csv_line("\"x|y\"|z"),
+            (std::vector<std::string>{"x|y", "z"}));
+  EXPECT_EQ(split_csv_line("\"he said \"\"hi\"\"\"|b"),
+            (std::vector<std::string>{"he said \"hi\"", "b"}));
+  EXPECT_EQ(split_csv_line("a,b", ','), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Csv, ParseNumbers) {
+  EXPECT_EQ(parse_u64("123"), 123u);
+  EXPECT_EQ(parse_i64("-5"), -5);
+  EXPECT_THROW(parse_u64("12x"), std::invalid_argument);
+  EXPECT_THROW(parse_u64(""), std::invalid_argument);
+  EXPECT_THROW(parse_i64("--3"), std::invalid_argument);
+}
+
+TEST(Csv, ReaderWriterRoundTrip) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "grbsm_csv_roundtrip_test.csv")
+                        .string();
+  {
+    CsvWriter w(path);
+    w.write_record({"1", "hello", "3"});
+    w.write_record({"4", "", "6"});
+    w.flush();
+  }
+  CsvReader r(path);
+  std::vector<std::string> f;
+  ASSERT_TRUE(r.next(f));
+  EXPECT_EQ(f, (std::vector<std::string>{"1", "hello", "3"}));
+  ASSERT_TRUE(r.next(f));
+  EXPECT_EQ(f, (std::vector<std::string>{"4", "", "6"}));
+  EXPECT_FALSE(r.next(f));
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(CsvReader("/nonexistent/definitely/not/here.csv"),
+               std::runtime_error);
+}
+
+TEST(Flags, ParsesAllForms) {
+  // Note: "--name value" is a valid spelling, so bare booleans must be
+  // followed by another flag (or end the argv) to stay value-less.
+  const char* argv[] = {"prog",       "positional", "--alpha=1", "--beta",
+                        "2",          "--delta=x=y", "--gamma"};
+  Flags flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("alpha", 0), 1);
+  EXPECT_EQ(flags.get_int("beta", 0), 2);
+  EXPECT_TRUE(flags.get_bool("gamma", false));
+  EXPECT_EQ(flags.get("delta", ""), "x=y");
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"positional"}));
+  EXPECT_EQ(flags.get("missing", "def"), "def");
+  EXPECT_FALSE(flags.has("missing2"));
+}
+
+TEST(Flags, ValueAfterSpaceIsConsumed) {
+  const char* argv[] = {"prog", "--gamma", "positional"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get("gamma", ""), "positional");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({5.0}), 5.0);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  // Zeros are clamped to the floor rather than collapsing the mean to 0.
+  EXPECT_GT(geometric_mean({0.0, 1.0}), 0.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const auto s = summarize({3.0, 1.0, 2.0, 4.0});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.geomean, std::pow(24.0, 0.25), 1e-12);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(double(i));
+  EXPECT_GT(t.elapsed_ns(), 0);
+  EXPECT_GT(t.elapsed_s(), 0.0);
+  AccumulatingTimer acc;
+  acc.start();
+  acc.stop();
+  acc.start();
+  acc.stop();
+  EXPECT_GE(acc.total_ns(), 0);
+  acc.reset();
+  EXPECT_EQ(acc.total_ns(), 0);
+}
+
+}  // namespace
