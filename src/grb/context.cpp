@@ -1,6 +1,8 @@
 #include "grb/context.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 #include <atomic>
 
@@ -14,7 +16,11 @@ void set_threads(int n) noexcept { g_threads.store(n < 1 ? 0 : n); }
 
 int threads() noexcept {
   const int n = g_threads.load();
+#ifdef _OPENMP
   return n == 0 ? omp_get_max_threads() : n;
+#else
+  return n == 0 ? 1 : n;
+#endif
 }
 
 ThreadGuard::ThreadGuard(int n) noexcept : saved_(g_threads.load()) {

@@ -3,7 +3,9 @@
 // respected everywhere, mirroring SuiteSparse's GxB_NTHREADS control.
 #pragma once
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 #include <cstdint>
 
@@ -26,11 +28,15 @@ void parallel_for(Index n, F&& f, Index work_hint = 0) {
     for (Index i = 0; i < n; ++i) f(i);
     return;
   }
+#ifdef _OPENMP
   const auto ni = static_cast<std::int64_t>(n);
 #pragma omp parallel for num_threads(nthreads) schedule(dynamic, 256)
   for (std::int64_t i = 0; i < ni; ++i) {
     f(static_cast<Index>(i));
   }
+#else
+  for (Index i = 0; i < n; ++i) f(i);
+#endif
 }
 
 /// Parallel region with per-thread setup: g(thread_id, nthreads) is run once
@@ -42,8 +48,12 @@ void parallel_region(G&& g) {
     g(0, 1);
     return;
   }
+#ifdef _OPENMP
 #pragma omp parallel num_threads(nthreads)
   { g(omp_get_thread_num(), omp_get_num_threads()); }
+#else
+  g(0, 1);
+#endif
 }
 
 }  // namespace grb::detail
