@@ -2,10 +2,16 @@
 // hot paths, on social-shaped (heavy-tailed) sparse matrices, at 1 and 8
 // threads — quantifying the kernel-level scaling that drives the Fig. 5
 // thread-count differences.
+//
+// The *SF benchmarks size their operands from the Table II scale-factor
+// specs (nodes × nodes, edges nonzeros), so mxm / eWiseAdd / write_back
+// throughput can be tracked before/after kernel-pipeline changes at
+// SF ≥ 256. CI uploads the JSON output as a perf-trajectory artifact.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 
+#include "datagen/scale_table.hpp"
 #include "grb/grb.hpp"
 #include "support/rng.hpp"
 
@@ -133,6 +139,104 @@ void BM_ExtractSubmatrix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExtractSubmatrix)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EwiseAddMatrix(benchmark::State& state) {
+  grb::ThreadGuard guard(static_cast<int>(state.range(0)));
+  const auto a = social_matrix(kRows, kCols, kNnz, 12);
+  const auto b = social_matrix(kRows, kCols, kNnz, 13);
+  for (auto _ : state) {
+    Matrix<U64> c(kRows, kCols);
+    grb::eWiseAdd(c, grb::Plus<U64>{}, a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kNnz));
+}
+BENCHMARK(BM_EwiseAddMatrix)->Arg(1)->Arg(8);
+
+void BM_WriteBackMasked(benchmark::State& state) {
+  // The C<M> (+)= T output merge in isolation: masked + accumulated +
+  // replace, the heaviest descriptor combination the queries use.
+  grb::ThreadGuard guard(static_cast<int>(state.range(0)));
+  const auto base = social_matrix(kRows, kCols, kNnz, 14);
+  const auto t = social_matrix(kRows, kCols, kNnz, 15);
+  const auto mask = social_matrix(kRows, kCols, kNnz / 2, 16);
+  grb::Descriptor desc;
+  desc.replace = true;
+  const Matrix<Bool> zero(kRows, kCols);
+  for (auto _ : state) {
+    Matrix<Bool> c = base;
+    grb::eWiseAdd(c, &mask, grb::LOr<Bool>{}, grb::LOr<Bool>{}, t, zero,
+                  desc);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kNnz + kNnz / 2));
+}
+BENCHMARK(BM_WriteBackMasked)->Arg(1)->Arg(8);
+
+// --- Table II scale-factor sweeps (SF >= 256) ------------------------------
+// Operands shaped like the SF's Likes matrix: nodes × nodes with `edges`
+// nonzeros. Args: (scale factor, threads).
+
+Matrix<Bool> sf_matrix(unsigned sf, std::uint64_t seed) {
+  const auto spec = datagen::spec_for(sf);
+  return social_matrix(static_cast<Index>(spec.nodes),
+                       static_cast<Index>(spec.nodes), spec.edges, seed);
+}
+
+void BM_MxmSF(benchmark::State& state) {
+  const auto sf = static_cast<unsigned>(state.range(0));
+  grb::ThreadGuard guard(static_cast<int>(state.range(1)));
+  const auto likes = sf_matrix(sf, 17);
+  // Tall-skinny right operand, the Likes' × NewFriends shape.
+  const auto nf = social_matrix(likes.ncols(), 128, 512, 18);
+  for (auto _ : state) {
+    Matrix<U64> c(likes.nrows(), 128);
+    grb::mxm(c, grb::plus_times_semiring<U64>(), likes, nf);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MxmSF)->Args({256, 1})->Args({256, 8})->Args({512, 1})->Args({512, 8});
+
+void BM_EwiseAddMatrixSF(benchmark::State& state) {
+  const auto sf = static_cast<unsigned>(state.range(0));
+  grb::ThreadGuard guard(static_cast<int>(state.range(1)));
+  const auto a = sf_matrix(sf, 19);
+  const auto b = sf_matrix(sf, 20);
+  for (auto _ : state) {
+    Matrix<Bool> c(a.nrows(), a.ncols());
+    grb::eWiseAdd(c, grb::LOr<Bool>{}, a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_EwiseAddMatrixSF)
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Args({512, 1})
+    ->Args({512, 8});
+
+void BM_WriteBackMaskedSF(benchmark::State& state) {
+  const auto sf = static_cast<unsigned>(state.range(0));
+  grb::ThreadGuard guard(static_cast<int>(state.range(1)));
+  const auto base = sf_matrix(sf, 21);
+  const auto t = sf_matrix(sf, 22);
+  const auto mask = sf_matrix(sf, 23);
+  grb::Descriptor desc;
+  desc.replace = true;
+  const Matrix<Bool> zero(base.nrows(), base.ncols());
+  for (auto _ : state) {
+    Matrix<Bool> c = base;
+    grb::eWiseAdd(c, &mask, grb::LOr<Bool>{}, grb::LOr<Bool>{}, t, zero,
+                  desc);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_WriteBackMaskedSF)
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Args({512, 1})
+    ->Args({512, 8});
 
 void BM_InsertTuplesBatch(benchmark::State& state) {
   const auto base = social_matrix(kRows, kCols, kNnz, 10);

@@ -14,6 +14,13 @@
 //   --csv                     (machine-readable output too)
 //   --extension               (include the GraphBLAS Incremental+CC tool)
 //   --verify                  (cross-check all tools' answers first)
+//   --tools=SUBSTR            (only tools whose label contains SUBSTR,
+//                              e.g. --tools=GraphBLAS)
+//   --smoke                   (CI trend check: exit nonzero unless
+//                              GraphBLAS Incremental beats GraphBLAS Batch
+//                              on update-and-reevaluation at the largest
+//                              scale factor run)
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -44,9 +51,20 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const bool verify = flags.get_bool("verify", false);
 
+  const bool smoke = flags.get_bool("smoke", false);
   std::vector<harness::ToolSpec> tools = harness::fig5_tools();
   if (flags.get_bool("extension", false)) {
     tools.push_back(harness::find_tool("grb-incremental-cc"));
+  }
+  const std::string tools_sel = flags.get("tools", "");
+  if (!tools_sel.empty()) {
+    std::erase_if(tools, [&](const harness::ToolSpec& t) {
+      return t.label.find(tools_sel) == std::string::npos;
+    });
+    if (tools.empty()) {
+      std::cerr << "fig5: --tools=" << tools_sel << " matches nothing\n";
+      return 2;
+    }
   }
   std::vector<harness::Query> queries;
   if (query_sel == "Q1" || query_sel == "both") {
@@ -113,7 +131,10 @@ int main(int argc, char** argv) {
   }
 
   // --- shape checks (Sec. IV qualitative claims) -----------------------------
-  if (scales.size() >= 2 && queries.size() == 2 && phase_sel == "both") {
+  // Only meaningful with the full tool set: a --tools filter leaves holes in
+  // `res` that would read as spurious FAILs.
+  if (scales.size() >= 2 && queries.size() == 2 && phase_sel == "both" &&
+      tools_sel.empty()) {
     const unsigned top = scales.back();
     const auto t = [&](const char* q, const char* tool, bool upd) {
       const Cell& c = res[q][tool][top];
@@ -155,6 +176,36 @@ int main(int argc, char** argv) {
       passed += c.ok ? 1 : 0;
     }
     std::printf("%d/%zu shape checks passed\n", passed, checks.size());
+  }
+
+  // --- CI smoke: the incremental-vs-recompute runtime trend ------------------
+  // Qualitative only (no absolute numbers), and Q2 only: Q2's incremental
+  // advantage is the paper's order-of-magnitude claim and survives noisy CI
+  // runners, whereas Q1's small-scale gap is a noise-level margin that would
+  // make the gate flaky.
+  if (smoke) {
+    if (scales.empty() || (phase_sel != "update" && phase_sel != "both") ||
+        std::find(queries.begin(), queries.end(), harness::Query::kQ2) ==
+            queries.end()) {
+      std::cerr << "fig5 smoke: needs at least one scale, the update phase, "
+                   "and Q2\n";
+      return 2;
+    }
+    const unsigned top = scales.back();
+    const char* qn = harness::query_name(harness::Query::kQ2);
+    const auto inc = res[qn].find("GraphBLAS Incremental");
+    const auto batch = res[qn].find("GraphBLAS Batch");
+    if (inc == res[qn].end() || batch == res[qn].end()) {
+      std::cerr << "fig5 smoke: needs the GraphBLAS Batch and GraphBLAS "
+                   "Incremental tools (check --tools)\n";
+      return 2;
+    }
+    const double ti = inc->second.at(top).update;
+    const double tb = batch->second.at(top).update;
+    const bool ok = ti < tb;
+    std::printf("[%s] smoke %s: incremental %.4gs %s batch %.4gs (SF %u)\n",
+                ok ? "PASS" : "FAIL", qn, ti, ok ? "<" : ">=", tb, top);
+    return ok ? 0 : 1;
   }
   return 0;
 }

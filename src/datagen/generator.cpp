@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <optional>
-#include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -36,6 +37,69 @@ std::size_t zipf_pick(Xoshiro256& rng, const ZipfSampler& zipf,
   // The sampler has a fixed domain; fold the draw into the population.
   const std::size_t raw = zipf.sample(rng);
   return (raw - 1) % population;
+}
+
+struct PairHash {
+  std::size_t operator()(const std::pair<NodeId, NodeId>& p) const noexcept {
+    // splitmix64-style mix of both ids; cheap and well distributed.
+    std::uint64_t h = (static_cast<std::uint64_t>(p.first) << 32) ^
+                      static_cast<std::uint64_t>(p.second);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// The evolving edge population behind the sampler: a hash set for O(1)
+/// membership / duplicate rejection plus a parallel vector for O(1) uniform
+/// victim sampling (removal ops pick uniformly from the live edges).
+class EdgeSet {
+ public:
+  bool insert(NodeId a, NodeId b) {
+    if (!set_.emplace(a, b).second) return false;
+    list_.emplace_back(a, b);
+    return true;
+  }
+
+  std::optional<std::pair<NodeId, NodeId>> sample_and_remove(Xoshiro256& rng) {
+    if (list_.empty()) return std::nullopt;
+    const std::size_t k = rng.bounded(list_.size());
+    const auto edge = list_[k];
+    list_[k] = list_.back();
+    list_.pop_back();
+    set_.erase(edge);
+    return edge;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return list_.size(); }
+
+ private:
+  std::unordered_set<std::pair<NodeId, NodeId>, PairHash> set_;
+  std::vector<std::pair<NodeId, NodeId>> list_;
+};
+
+/// After this many consecutive duplicate hits a draw switches from the Zipf
+/// head (which saturates first) to uniform endpoints. Near the clamped
+/// saturation cap a uniform candidate is free with probability ≥ 1/8, so
+/// the expected cost per placed edge stays O(1) at any fill level — no
+/// rejection spiral, no retry-budget guard.
+constexpr std::size_t kZipfMissLimit = 8;
+
+/// Targets are clamped to 7/8 of the pair space: beyond that even uniform
+/// rejection sampling degrades, and the Table II shapes never get close.
+std::size_t clamp_to_pair_space(std::size_t target, std::size_t pair_space,
+                                const char* what) {
+  const std::size_t cap = pair_space - pair_space / 8;
+  if (target > cap) {
+    GRBSM_LOG_WARN << "datagen: " << what << " target " << target
+                   << " clamped to " << cap << " (pair space " << pair_space
+                   << ")";
+    return cap;
+  }
+  return target;
 }
 
 }  // namespace
@@ -130,72 +194,70 @@ Dataset generate(const GeneratorParams& params) {
     comment_ids.push_back(id);
   }
 
+  // Edge populations, shared by the initial placement and the change
+  // sequence. Keys: (user, comment) for likes, canonical (min, max) for
+  // friendships. Every candidate below is O(1) — hash-set membership —
+  // regardless of how saturated the graph is.
+  EdgeSet like_edges;
+  EdgeSet friend_edges;
+
   // Likes: heavy-tailed comment popularity × heavy-tailed user activity.
-  std::size_t made = 0;
+  // Draws fall back to uniform endpoints after kZipfMissLimit consecutive
+  // duplicates, so a saturated Zipf head cannot stall placement; the
+  // clamped target guarantees uniform candidates keep succeeding.
   if (!comment_ids.empty()) {
-    for (std::size_t attempts = 0;
-         made < params.likes && attempts < params.likes * 20; ++attempts) {
-      const NodeId c =
-          comment_ids[zipf_pick(rng, comment_zipf, comment_ids.size())];
-      const NodeId u = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
-      if (ds.initial.add_likes(u, c)) ++made;
-    }
-    if (made < params.likes) {
-      GRBSM_LOG_WARN << "datagen: like target " << params.likes
-                     << " not met (" << made
-                     << " placed) — duplicate rejection exhausted attempts";
-    }
-  }
-
-  // Friendships: heavy-tailed activity on both endpoints.
-  made = 0;
-  for (std::size_t attempts = 0;
-       made < params.friendships && attempts < params.friendships * 20;
-       ++attempts) {
-    const NodeId a = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
-    const NodeId b = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
-    if (a == b) continue;
-    if (ds.initial.add_friendship(a, b)) ++made;
-  }
-  if (made < params.friendships) {
-    GRBSM_LOG_WARN << "datagen: friendship target " << params.friendships
-                   << " not met (" << made << " placed)";
-  }
-
-  // --- change sequence -------------------------------------------------------
-  // Tracks the evolving edge population: a set for duplicate rejection plus
-  // a parallel vector for O(1) random sampling (removal ops pick victims
-  // uniformly from the live edges).
-  std::set<std::pair<NodeId, NodeId>> like_edges;
-  std::set<std::pair<NodeId, NodeId>> friend_edges;
-  std::vector<std::pair<NodeId, NodeId>> like_list;
-  std::vector<std::pair<NodeId, NodeId>> friend_list;
-  for (const auto& c : ds.initial.comments()) {
-    for (const auto u : c.likers) {
-      like_edges.emplace(ds.initial.user(u).id, c.id);
-      like_list.emplace_back(ds.initial.user(u).id, c.id);
-    }
-  }
-  for (const auto& u : ds.initial.users()) {
-    for (const auto f : u.friends) {
-      const NodeId a = u.id, b = ds.initial.user(f).id;
-      if (friend_edges.emplace(std::min(a, b), std::max(a, b)).second) {
-        friend_list.emplace_back(std::min(a, b), std::max(a, b));
+    const std::size_t target = clamp_to_pair_space(
+        params.likes, comment_ids.size() * user_ids.size(), "like");
+    std::size_t misses = 0;
+    for (std::size_t made = 0; made < target;) {
+      NodeId c, u;
+      if (misses < kZipfMissLimit) {
+        c = comment_ids[zipf_pick(rng, comment_zipf, comment_ids.size())];
+        u = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+      } else {
+        c = comment_ids[rng.bounded(comment_ids.size())];
+        u = user_ids[rng.bounded(user_ids.size())];
+      }
+      if (like_edges.insert(u, c)) {
+        ds.initial.add_likes_unchecked(u, c);
+        ++made;
+        misses = 0;
+      } else {
+        ++misses;
       }
     }
   }
-  const auto sample_and_remove =
-      [&rng](std::set<std::pair<NodeId, NodeId>>& edges,
-             std::vector<std::pair<NodeId, NodeId>>& list)
-      -> std::optional<std::pair<NodeId, NodeId>> {
-    if (list.empty()) return std::nullopt;
-    const std::size_t k = rng.bounded(list.size());
-    const auto edge = list[k];
-    list[k] = list.back();
-    list.pop_back();
-    edges.erase(edge);
-    return edge;
-  };
+
+  // Friendships: heavy-tailed activity on both endpoints, same scheme.
+  if (user_ids.size() > 1) {
+    const std::size_t target = clamp_to_pair_space(
+        params.friendships, user_ids.size() * (user_ids.size() - 1) / 2,
+        "friendship");
+    std::size_t misses = 0;
+    for (std::size_t made = 0; made < target;) {
+      NodeId a, b;
+      if (misses < kZipfMissLimit) {
+        a = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+        b = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+      } else {
+        a = user_ids[rng.bounded(user_ids.size())];
+        b = user_ids[rng.bounded(user_ids.size())];
+      }
+      if (a == b) {
+        ++misses;
+        continue;
+      }
+      if (friend_edges.insert(std::min(a, b), std::max(a, b))) {
+        ds.initial.add_friendship_unchecked(a, b);
+        ++made;
+        misses = 0;
+      } else {
+        ++misses;
+      }
+    }
+  }
+
+  // --- change sequence -------------------------------------------------------
 
   // Challenger entities: the runner-up comments/posts by the popularity
   // proxy (creation order == Zipf rank by construction). A `frac_contention`
@@ -268,8 +330,12 @@ Dataset generate(const GeneratorParams& params) {
         std::max<std::size_t>(1, elements_left / (sets - s));
     if (s + 1 == sets) budget = elements_left;  // last set takes the rest
     std::size_t used = 0;
+    // Safety valve only: with hash-set duplicate rejection and uniform
+    // fallback every edge draw is O(1) and succeeds with constant
+    // probability, so this bound is unreachable outside degenerate
+    // parameter sets (e.g. frac_removals = 1 with no live edges).
     std::size_t guard = 0;
-    while (used < budget && ++guard < budget * 50 + 100) {
+    while (used < budget && ++guard < budget * 64 + 1024) {
       const double roll = rng.uniform01();
       const bool contend = rng.chance(params.frac_contention);
       if (roll < fc && used + 3 <= budget) {
@@ -300,53 +366,64 @@ Dataset generate(const GeneratorParams& params) {
         used += 3;
       } else if (roll < fl && !comment_ids.empty()) {
         if (rng.chance(params.frac_removals)) {
-          if (const auto victim = sample_and_remove(like_edges, like_list)) {
+          if (const auto victim = like_edges.sample_and_remove(rng)) {
             cs.ops.push_back(sm::RemoveLikes{victim->first, victim->second});
             used += 1;
           }
           continue;
         }
-        const NodeId c =
-            contend && !challenger_comments.empty()
-                ? pick_challenger(challenger_comments)
-                : comment_ids[zipf_pick(rng, comment_zipf,
-                                        comment_ids.size())];
-        const NodeId u = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
-        if (like_edges.emplace(u, c).second) {
-          like_list.emplace_back(u, c);
-          cs.ops.push_back(sm::AddLikes{u, c});
-          const auto it = challenger_likers.find(c);
-          if (it != challenger_likers.end()) it->second.push_back(u);
-          used += 1;
+        // First candidate keeps the contention/Zipf shape; duplicate hits
+        // retry with uniform endpoints so a saturated head never stalls.
+        for (std::size_t t = 0; t <= kZipfMissLimit; ++t) {
+          const NodeId c =
+              t > 0 ? comment_ids[rng.bounded(comment_ids.size())]
+              : contend && !challenger_comments.empty()
+                  ? pick_challenger(challenger_comments)
+                  : comment_ids[zipf_pick(rng, comment_zipf,
+                                          comment_ids.size())];
+          const NodeId u =
+              t > 0 ? user_ids[rng.bounded(user_ids.size())]
+                    : user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+          if (like_edges.insert(u, c)) {
+            cs.ops.push_back(sm::AddLikes{u, c});
+            const auto it = challenger_likers.find(c);
+            if (it != challenger_likers.end()) it->second.push_back(u);
+            used += 1;
+            break;
+          }
         }
       } else if (roll < ff) {
         if (rng.chance(params.frac_removals)) {
-          if (const auto victim =
-                  sample_and_remove(friend_edges, friend_list)) {
+          if (const auto victim = friend_edges.sample_and_remove(rng)) {
             cs.ops.push_back(
                 sm::RemoveFriendship{victim->first, victim->second});
             used += 1;
           }
           continue;
         }
-        NodeId a, b;
-        if (contend && !challenger_comments.empty()) {
-          // Befriend two co-likers of a challenger comment — merges their
-          // components, so its Q2 score grows quadratically.
-          const NodeId c = pick_challenger(challenger_comments);
-          const auto& likers = challenger_likers[c];
-          if (likers.size() < 2) continue;
-          a = likers[rng.bounded(likers.size())];
-          b = likers[rng.bounded(likers.size())];
-        } else {
-          a = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
-          b = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
-        }
-        if (a != b &&
-            friend_edges.emplace(std::min(a, b), std::max(a, b)).second) {
-          friend_list.emplace_back(std::min(a, b), std::max(a, b));
-          cs.ops.push_back(sm::AddFriendship{a, b});
-          used += 1;
+        for (std::size_t t = 0; t <= kZipfMissLimit; ++t) {
+          NodeId a, b;
+          if (t == 0 && contend && !challenger_comments.empty()) {
+            // Befriend two co-likers of a challenger comment — merges their
+            // components, so its Q2 score grows quadratically.
+            const NodeId c = pick_challenger(challenger_comments);
+            const auto& likers = challenger_likers[c];
+            if (likers.size() < 2) break;
+            a = likers[rng.bounded(likers.size())];
+            b = likers[rng.bounded(likers.size())];
+          } else if (t == 0) {
+            a = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+            b = user_ids[zipf_pick(rng, user_zipf, user_ids.size())];
+          } else {
+            a = user_ids[rng.bounded(user_ids.size())];
+            b = user_ids[rng.bounded(user_ids.size())];
+          }
+          if (a != b &&
+              friend_edges.insert(std::min(a, b), std::max(a, b))) {
+            cs.ops.push_back(sm::AddFriendship{a, b});
+            used += 1;
+            break;
+          }
         }
       } else {
         const NodeId id = ids.next();

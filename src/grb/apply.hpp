@@ -2,8 +2,10 @@
 // this for the "multiply by 10" step of Q1 (Alg. 1 line 7, Alg. 2 line 10).
 #pragma once
 
+#include <algorithm>
 #include <utility>
 
+#include "grb/detail/csr_builder.hpp"
 #include "grb/detail/parallel.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
@@ -28,15 +30,19 @@ Vector<W> apply_compute(UnaryOp op, const Vector<U>& u) {
 
 template <typename W, typename UnaryOp, typename U>
 Matrix<W> apply_compute(UnaryOp op, const Matrix<U>& a) {
-  std::vector<Index> rowptr(a.rowptr().begin(), a.rowptr().end());
-  std::vector<Index> colind(a.colind().begin(), a.colind().end());
-  const auto av = a.values();
-  std::vector<W> val(av.size());
-  parallel_for(static_cast<Index>(av.size()), [&](Index k) {
-    val[k] = static_cast<W>(op(av[k]));
-  });
-  return Matrix<W>::adopt_csr(a.nrows(), a.ncols(), std::move(rowptr),
-                              std::move(colind), std::move(val));
+  // The output pattern is the input pattern, so the symbolic pass is just
+  // the input row degrees; numeric copies each row mapping values through op.
+  return build_csr<W>(
+      a.nrows(), a.ncols(), [&](Index i) { return a.row_degree(i); },
+      [&](Index i, std::span<Index> cols, std::span<W> vals) {
+        const auto ai = a.row_cols(i);
+        const auto av = a.row_vals(i);
+        std::copy(ai.begin(), ai.end(), cols.begin());
+        for (std::size_t k = 0; k < av.size(); ++k) {
+          vals[k] = static_cast<W>(op(av[k]));
+        }
+      },
+      a.nvals());
 }
 
 }  // namespace detail

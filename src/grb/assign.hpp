@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <numeric>
 #include <span>
 #include <utility>
 #include <vector>
@@ -31,31 +32,40 @@ Vector<W> subset_to_full(Index size, std::span<const Index> idx,
     throw DimensionMismatch("assign: |I| = " + std::to_string(idx.size()) +
                             " vs |u| = " + std::to_string(u.size()));
   }
-  std::vector<std::pair<Index, W>> buf;
   const auto ui = u.indices();
   const auto uv = u.values();
-  buf.reserve(ui.size());
-  for (std::size_t k = 0; k < ui.size(); ++k) {
-    const Index target = idx[ui[k]];
+  std::vector<Index> oi;
+  std::vector<W> ov;
+  oi.reserve(ui.size());
+  ov.reserve(ui.size());
+  const auto emit = [&](Index target, std::size_t k) {
     if (target >= size) {
       throw IndexOutOfBounds("assign: target " + std::to_string(target));
     }
-    buf.emplace_back(target, static_cast<W>(uv[k]));
-  }
-  std::sort(buf.begin(), buf.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (std::size_t k = 1; k < buf.size(); ++k) {
-    if (buf[k].first == buf[k - 1].first) {
+    if (!oi.empty() && oi.back() == target) {
       throw InvalidValue("assign: duplicate target index");
     }
-  }
-  std::vector<Index> oi;
-  std::vector<W> ov;
-  oi.reserve(buf.size());
-  ov.reserve(buf.size());
-  for (const auto& [i, v] : buf) {
-    oi.push_back(i);
-    ov.push_back(v);
+    oi.push_back(target);
+    ov.push_back(static_cast<W>(uv[k]));
+  };
+  if (std::is_sorted(idx.begin(), idx.end())) {
+    // Sorted subset (the common case): u's stored entries already map to
+    // nondecreasing targets, so the output assembles in order directly.
+    for (std::size_t k = 0; k < ui.size(); ++k) {
+      emit(idx[ui[k]], k);
+    }
+  } else {
+    // Unsorted subset: order only u's k stored targets — O(k log k), never
+    // O(|I| log |I|) over the whole (possibly huge) subset map.
+    std::vector<std::size_t> order(ui.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return idx[ui[a]] < idx[ui[b]] ||
+             (idx[ui[a]] == idx[ui[b]] && a < b);
+    });
+    for (const std::size_t k : order) {
+      emit(idx[ui[k]], k);
+    }
   }
   return Vector<W>::adopt_sorted(size, std::move(oi), std::move(ov));
 }

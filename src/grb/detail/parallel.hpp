@@ -7,7 +7,10 @@
 #include <omp.h>
 #endif
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "grb/context.hpp"
 #include "grb/types.hpp"
@@ -18,12 +21,26 @@ namespace grb::detail {
 /// operands (the common case for incremental deltas) stay serial.
 inline constexpr Index kParallelThreshold = 4096;
 
+/// Threads actually worth spawning: the global cap (grb::set_threads)
+/// clamped to the processors available to this process. omp_get_num_procs
+/// respects cpusets/affinity, so a container pinned to one core runs
+/// serial even when the cap asks for eight — oversubscription only buys
+/// barrier overhead.
+inline int effective_threads() noexcept {
+#ifdef _OPENMP
+  const int procs = omp_get_num_procs();
+  return grb::threads() < procs ? grb::threads() : procs;
+#else
+  return 1;
+#endif
+}
+
 /// Runs f(i) for i in [0, n), in parallel when worthwhile. `work_hint`
 /// estimates total work (defaults to n) to decide serial vs parallel.
 template <typename F>
 void parallel_for(Index n, F&& f, Index work_hint = 0) {
   const Index work = work_hint == 0 ? n : work_hint;
-  const int nthreads = grb::threads();
+  const int nthreads = effective_threads();
   if (nthreads <= 1 || work < kParallelThreshold) {
     for (Index i = 0; i < n; ++i) f(i);
     return;
@@ -43,7 +60,7 @@ void parallel_for(Index n, F&& f, Index work_hint = 0) {
 /// per thread; useful for kernels that keep per-thread scratch (SPAs).
 template <typename G>
 void parallel_region(G&& g) {
-  const int nthreads = grb::threads();
+  const int nthreads = effective_threads();
   if (nthreads <= 1) {
     g(0, 1);
     return;
@@ -53,6 +70,51 @@ void parallel_region(G&& g) {
   { g(omp_get_thread_num(), omp_get_num_threads()); }
 #else
   g(0, 1);
+#endif
+}
+
+/// In-place exclusive prefix sum in CSR rowptr convention: on entry
+/// rowptr[i + 1] holds the entry count of row i and rowptr[0] == 0; on exit
+/// rowptr[i] is row i's starting offset and rowptr[n] the total, which is
+/// returned. This is the symbolic→numeric handoff of the two-pass kernel
+/// pipeline; large arrays scan chunk-wise in parallel.
+inline Index parallel_scan(std::span<Index> rowptr) {
+  if (rowptr.size() <= 1) return 0;
+  const Index n = static_cast<Index>(rowptr.size() - 1);
+  const int nthreads = effective_threads();
+  if (nthreads <= 1 || n < kParallelThreshold) {
+    for (Index i = 0; i < n; ++i) rowptr[i + 1] += rowptr[i];
+    return rowptr[n];
+  }
+#ifdef _OPENMP
+  // Two-phase chunk scan: each thread sums its contiguous chunk, one thread
+  // scans the chunk totals, then each thread rescans its chunk shifted by
+  // the chunk offset. Barriers separate the phases.
+  std::vector<Index> chunk_sum(static_cast<std::size_t>(nthreads) + 1, 0);
+  parallel_region([&](int tid, int nt) {
+    const Index chunk = (n + static_cast<Index>(nt) - 1) / static_cast<Index>(nt);
+    const Index lo = std::min<Index>(n, chunk * static_cast<Index>(tid));
+    const Index hi = std::min<Index>(n, lo + chunk);
+    Index sum = 0;
+    for (Index i = lo; i < hi; ++i) sum += rowptr[i + 1];
+    chunk_sum[static_cast<std::size_t>(tid) + 1] = sum;
+#pragma omp barrier
+#pragma omp single
+    for (int t = 0; t + 1 < static_cast<int>(chunk_sum.size()); ++t) {
+      chunk_sum[static_cast<std::size_t>(t) + 1] +=
+          chunk_sum[static_cast<std::size_t>(t)];
+    }
+    // Implicit barrier at the end of `single` orders the rescan after it.
+    Index run = chunk_sum[static_cast<std::size_t>(tid)];
+    for (Index i = lo; i < hi; ++i) {
+      run += rowptr[i + 1];
+      rowptr[i + 1] = run;
+    }
+  });
+  return rowptr[n];
+#else
+  for (Index i = 0; i < n; ++i) rowptr[i + 1] += rowptr[i];
+  return rowptr[n];
 #endif
 }
 

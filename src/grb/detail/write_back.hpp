@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "grb/detail/csr_builder.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
 #include "grb/vector.hpp"
@@ -121,7 +122,12 @@ void write_back(Vector<CT>& c, const Vector<MT>* mask, Accum accum,
   c = Vector<CT>::adopt_sorted(c.size(), std::move(out_i), std::move(out_v));
 }
 
-/// C<M> (+)= T for matrices. Row-by-row application of the vector rules.
+/// C<M> (+)= T for matrices: a row-parallel merge of C, M, and T through
+/// the staged CSR pipeline. Each row's three-way merge runs exactly once,
+/// streaming survivors into per-thread staging (the symbolic counts fall
+/// out of the same pass); the numeric step copies them into the scanned
+/// offsets. Mask/accumulator application therefore scales with the
+/// parallel kernels feeding it instead of serialising behind them.
 template <typename CT, typename MT, typename Accum, typename TT>
 void write_back(Matrix<CT>& c, const Matrix<MT>* mask, Accum accum,
                 const Descriptor& desc, Matrix<TT>&& t) {
@@ -142,18 +148,16 @@ void write_back(Matrix<CT>& c, const Matrix<MT>* mask, Accum accum,
       return;
     }
   }
-  std::vector<Index> rowptr(c.nrows() + 1, 0);
-  std::vector<Index> colind;
-  std::vector<CT> val;
-  colind.reserve(c.nvals() + t.nvals());
-  val.reserve(c.nvals() + t.nvals());
-
-  for (Index i = 0; i < c.nrows(); ++i) {
+  // Per-row merge of C, M, and T under the descriptor rules. `emit(j, v)`
+  // is invoked once per surviving entry in ascending column order; each
+  // row's merge runs exactly once (staged pipeline).
+  const auto merge_row = [&](Index i, auto&& emit) {
     const auto ci = c.row_cols(i);
     const auto cv = c.row_vals(i);
     const auto ti = t.row_cols(i);
     const auto tv = t.row_vals(i);
-    const auto mi = mask != nullptr ? mask->row_cols(i) : std::span<const Index>{};
+    const auto mi =
+        mask != nullptr ? mask->row_cols(i) : std::span<const Index>{};
     const auto mv = mask != nullptr ? mask->row_vals(i) : std::span<const MT>{};
     std::size_t m = 0;
     const auto admits = [&](Index j) {
@@ -174,42 +178,36 @@ void write_back(Matrix<CT>& c, const Matrix<MT>* mask, Accum accum,
       if (take_both) {
         if (admitted) {
           if constexpr (has_accum_v<Accum>) {
-            colind.push_back(j);
-            val.push_back(
-                static_cast<CT>(accum(cv[a], static_cast<CT>(tv[b]))));
+            emit(j, static_cast<CT>(accum(cv[a], static_cast<CT>(tv[b]))));
           } else {
-            colind.push_back(j);
-            val.push_back(static_cast<CT>(tv[b]));
+            emit(j, static_cast<CT>(tv[b]));
           }
         } else if (!desc.replace) {
-          colind.push_back(j);
-          val.push_back(cv[a]);
+          emit(j, cv[a]);
         }
         ++a;
         ++b;
       } else if (take_c) {
         if (admitted) {
           if constexpr (has_accum_v<Accum>) {
-            colind.push_back(j);
-            val.push_back(cv[a]);
+            emit(j, cv[a]);
           }
         } else if (!desc.replace) {
-          colind.push_back(j);
-          val.push_back(cv[a]);
+          emit(j, cv[a]);
         }
         ++a;
       } else {
         if (admitted) {
-          colind.push_back(j);
-          val.push_back(static_cast<CT>(tv[b]));
+          emit(j, static_cast<CT>(tv[b]));
         }
         ++b;
       }
     }
-    rowptr[i + 1] = static_cast<Index>(colind.size());
-  }
-  c = Matrix<CT>::adopt_csr(c.nrows(), c.ncols(), std::move(rowptr),
-                            std::move(colind), std::move(val));
+  };
+  // Output pattern ⊆ pattern(C) ∪ pattern(T), so this doubles as a tight
+  // reserve bound for the staging buffers.
+  c = build_csr_staged<CT>(c.nrows(), c.ncols(), merge_row,
+                           c.nvals() + t.nvals());
 }
 
 }  // namespace grb::detail

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "grb/detail/csr_builder.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
 #include "grb/vector.hpp"
@@ -14,20 +15,25 @@ namespace grb {
 
 /// Square matrix with v on diagonal k (k > 0 above, k < 0 below). The
 /// dimension is v.size() + |k| so every vector entry has a position.
+/// The vector's coordinates are already sorted, so the CSR assembles
+/// directly through the two-pass builder — no tuple round-trip, no sort.
 template <typename T>
 [[nodiscard]] Matrix<T> diag_matrix(const Vector<T>& v, std::int64_t k = 0) {
   const Index shift = static_cast<Index>(k < 0 ? -k : k);
   const Index n = v.size() + shift;
-  std::vector<Tuple<T>> tuples;
   const auto vi = v.indices();
   const auto vv = v.values();
-  tuples.reserve(vi.size());
+  detail::CsrBuilder<T> builder(n, n);
+  for (const Index i : vi) {
+    builder.count_row(k < 0 ? i + shift : i, 1);
+  }
+  builder.finish_symbolic();
   for (std::size_t s = 0; s < vi.size(); ++s) {
     const Index row = k < 0 ? vi[s] + shift : vi[s];
-    const Index col = k < 0 ? vi[s] : vi[s] + shift;
-    tuples.push_back({row, col, vv[s]});
+    builder.row_cols(row)[0] = k < 0 ? vi[s] : vi[s] + shift;
+    builder.row_vals(row)[0] = vv[s];
   }
-  return Matrix<T>::build(n, n, std::move(tuples));
+  return std::move(builder).take();
 }
 
 /// Diagonal k of a matrix as a vector (length = number of positions on that
@@ -54,12 +60,13 @@ template <typename T>
 /// n × n identity matrix over T (ones on the main diagonal).
 template <typename T>
 [[nodiscard]] Matrix<T> identity_matrix(Index n) {
-  std::vector<Tuple<T>> tuples;
-  tuples.reserve(n);
-  for (Index i = 0; i < n; ++i) {
-    tuples.push_back({i, i, T{1}});
-  }
-  return Matrix<T>::build(n, n, std::move(tuples));
+  return detail::build_csr<T>(
+      n, n, [](Index) { return Index{1}; },
+      [](Index i, std::span<Index> cols, std::span<T> vals) {
+        cols[0] = i;
+        vals[0] = T{1};
+      },
+      n);
 }
 
 }  // namespace grb

@@ -6,6 +6,7 @@
 
 #include <utility>
 
+#include "grb/detail/csr_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -82,37 +83,33 @@ Matrix<W> ewise_add_compute(Op op, const Matrix<U>& a, const Matrix<V>& b) {
   if (a.nrows() != b.nrows() || a.ncols() != b.ncols()) {
     throw DimensionMismatch("matrix eWiseAdd shapes");
   }
-  std::vector<Index> rowptr(a.nrows() + 1, 0);
-  std::vector<Index> colind;
-  std::vector<W> val;
-  colind.reserve(a.nvals() + b.nvals());
-  val.reserve(a.nvals() + b.nvals());
-  for (Index i = 0; i < a.nrows(); ++i) {
-    const auto ai = a.row_cols(i);
-    const auto av = a.row_vals(i);
-    const auto bi = b.row_cols(i);
-    const auto bv = b.row_vals(i);
-    std::size_t x = 0, y = 0;
-    while (x < ai.size() || y < bi.size()) {
-      if (y >= bi.size() || (x < ai.size() && ai[x] < bi[y])) {
-        colind.push_back(ai[x]);
-        val.push_back(static_cast<W>(av[x]));
-        ++x;
-      } else if (x >= ai.size() || bi[y] < ai[x]) {
-        colind.push_back(bi[y]);
-        val.push_back(static_cast<W>(bv[y]));
-        ++y;
-      } else {
-        colind.push_back(ai[x]);
-        val.push_back(static_cast<W>(op(static_cast<W>(av[x]), static_cast<W>(bv[y]))));
-        ++x;
-        ++y;
-      }
-    }
-    rowptr[i + 1] = static_cast<Index>(colind.size());
-  }
-  return Matrix<W>::adopt_csr(a.nrows(), a.ncols(), std::move(rowptr),
-                              std::move(colind), std::move(val));
+  // Row-parallel union merge through the staged two-pass pipeline: each
+  // row's merge runs once, entries land sorted in per-thread staging, and
+  // the numeric pass is a copy into the scanned offsets.
+  return build_csr_staged<W>(
+      a.nrows(), a.ncols(),
+      [&](Index i, auto&& emit) {
+        const auto ai = a.row_cols(i);
+        const auto av = a.row_vals(i);
+        const auto bi = b.row_cols(i);
+        const auto bv = b.row_vals(i);
+        std::size_t x = 0, y = 0;
+        while (x < ai.size() || y < bi.size()) {
+          if (y >= bi.size() || (x < ai.size() && ai[x] < bi[y])) {
+            emit(ai[x], static_cast<W>(av[x]));
+            ++x;
+          } else if (x >= ai.size() || bi[y] < ai[x]) {
+            emit(bi[y], static_cast<W>(bv[y]));
+            ++y;
+          } else {
+            emit(ai[x], static_cast<W>(
+                            op(static_cast<W>(av[x]), static_cast<W>(bv[y]))));
+            ++x;
+            ++y;
+          }
+        }
+      },
+      a.nvals() + b.nvals());
 }
 
 template <typename W, typename Op, typename U, typename V>
@@ -120,31 +117,29 @@ Matrix<W> ewise_mult_compute(Op op, const Matrix<U>& a, const Matrix<V>& b) {
   if (a.nrows() != b.nrows() || a.ncols() != b.ncols()) {
     throw DimensionMismatch("matrix eWiseMult shapes");
   }
-  std::vector<Index> rowptr(a.nrows() + 1, 0);
-  std::vector<Index> colind;
-  std::vector<W> val;
-  for (Index i = 0; i < a.nrows(); ++i) {
-    const auto ai = a.row_cols(i);
-    const auto av = a.row_vals(i);
-    const auto bi = b.row_cols(i);
-    const auto bv = b.row_vals(i);
-    std::size_t x = 0, y = 0;
-    while (x < ai.size() && y < bi.size()) {
-      if (ai[x] < bi[y]) {
-        ++x;
-      } else if (bi[y] < ai[x]) {
-        ++y;
-      } else {
-        colind.push_back(ai[x]);
-        val.push_back(static_cast<W>(op(static_cast<W>(av[x]), static_cast<W>(bv[y]))));
-        ++x;
-        ++y;
-      }
-    }
-    rowptr[i + 1] = static_cast<Index>(colind.size());
-  }
-  return Matrix<W>::adopt_csr(a.nrows(), a.ncols(), std::move(rowptr),
-                              std::move(colind), std::move(val));
+  // Row-parallel intersection merge, same staged scheme as ewise_add.
+  return build_csr_staged<W>(
+      a.nrows(), a.ncols(),
+      [&](Index i, auto&& emit) {
+        const auto ai = a.row_cols(i);
+        const auto av = a.row_vals(i);
+        const auto bi = b.row_cols(i);
+        const auto bv = b.row_vals(i);
+        std::size_t x = 0, y = 0;
+        while (x < ai.size() && y < bi.size()) {
+          if (ai[x] < bi[y]) {
+            ++x;
+          } else if (bi[y] < ai[x]) {
+            ++y;
+          } else {
+            emit(ai[x], static_cast<W>(
+                            op(static_cast<W>(av[x]), static_cast<W>(bv[y]))));
+            ++x;
+            ++y;
+          }
+        }
+      },
+      a.nvals() + b.nvals());
 }
 
 }  // namespace detail

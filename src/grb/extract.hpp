@@ -8,10 +8,10 @@
 
 #include <algorithm>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "grb/detail/csr_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -28,39 +28,14 @@ inline bool is_sorted_unique(std::span<const Index> xs) {
   return true;
 }
 
-/// Maps source column -> output position for an index list J.
-class ColMapper {
- public:
-  explicit ColMapper(std::span<const Index> j) : j_(j) {
-    sorted_ = is_sorted_unique(j);
-    if (!sorted_) {
-      map_.reserve(j.size());
-      for (std::size_t k = 0; k < j.size(); ++k) {
-        const auto [it, inserted] = map_.emplace(j[k], static_cast<Index>(k));
-        if (!inserted) {
-          throw InvalidValue("extract: duplicate column index");
-        }
-      }
-    }
-  }
-
-  /// Output position of source column c, or npos.
-  static constexpr Index npos = static_cast<Index>(-1);
-  [[nodiscard]] Index lookup(Index c) const {
-    if (sorted_) {
-      const auto it = std::lower_bound(j_.begin(), j_.end(), c);
-      if (it == j_.end() || *it != c) return npos;
-      return static_cast<Index>(it - j_.begin());
-    }
-    const auto it = map_.find(c);
-    return it == map_.end() ? npos : it->second;
-  }
-
- private:
-  std::span<const Index> j_;
-  bool sorted_ = false;
-  std::unordered_map<Index, Index> map_;
-};
+/// Position of `x` in the sorted-unique list `xs`, or kNoPos. Used both to
+/// map source columns into J and to probe CSR rows on the unsorted-J path.
+inline constexpr Index kNoPos = static_cast<Index>(-1);
+inline Index lookup_sorted(std::span<const Index> xs, Index x) {
+  const auto it = std::lower_bound(xs.begin(), xs.end(), x);
+  if (it == xs.end() || *it != x) return kNoPos;
+  return static_cast<Index>(it - xs.begin());
+}
 
 template <typename U>
 Matrix<U> extract_compute(const Matrix<U>& a, std::span<const Index> rows,
@@ -71,56 +46,70 @@ Matrix<U> extract_compute(const Matrix<U>& a, std::span<const Index> rows,
   for (const Index j : cols) {
     if (j >= a.ncols()) throw IndexOutOfBounds("extract: col " + std::to_string(j));
   }
-  const ColMapper mapper(cols);
   const Index nr = static_cast<Index>(rows.size());
-  std::vector<Index> rowptr(nr + 1, 0);
-  std::vector<Index> colind;
-  std::vector<U> val;
-  std::vector<std::pair<Index, U>> rowbuf;
+  const bool cols_sorted = is_sorted_unique(cols);
+  if (!cols_sorted) {
+    // Duplicate columns are invalid either way; detect them on a sorted copy.
+    std::vector<Index> check(cols.begin(), cols.end());
+    std::sort(check.begin(), check.end());
+    if (std::adjacent_find(check.begin(), check.end()) != check.end()) {
+      throw InvalidValue("extract: duplicate column index");
+    }
+  }
+  // Work estimate from the degrees of the extracted rows (not all of A):
+  // the Q2 hot path pulls tiny induced submatrices and must stay serial.
+  Index work = nr;
   for (Index out_i = 0; out_i < nr; ++out_i) {
-    const Index src = rows[out_i];
+    work += a.row_degree(rows[out_i]);
+  }
+  // Per-row sorted intersection of the source row with J, driven from the
+  // smaller side; visit(k, pos) sees source entry k at output column pos in
+  // ascending pos order, so rows come out sorted with no per-row staging.
+  //
+  // Sorted J (the Q2 hot path): positions ascend with source columns, so
+  // either side may drive. Unsorted J: drive by output position and
+  // binary-search the source row; costs O(|J| log deg) per row, but only
+  // tests take this path.
+  const auto intersect_row = [&](Index src, auto&& visit) {
     const auto acols = a.row_cols(src);
-    const auto avals = a.row_vals(src);
-    rowbuf.clear();
-    for (std::size_t k = 0; k < acols.size(); ++k) {
-      const Index pos = mapper.lookup(acols[k]);
-      if (pos != ColMapper::npos) {
-        rowbuf.emplace_back(pos, avals[k]);
+    if (cols_sorted && acols.size() <= cols.size()) {
+      for (std::size_t k = 0; k < acols.size(); ++k) {
+        const Index pos = lookup_sorted(cols, acols[k]);
+        if (pos != kNoPos) visit(k, pos);
+      }
+    } else {
+      for (Index p = 0; p < static_cast<Index>(cols.size()); ++p) {
+        const Index k = lookup_sorted(acols, cols[p]);
+        if (k != kNoPos) visit(static_cast<std::size_t>(k), p);
       }
     }
-    std::sort(rowbuf.begin(), rowbuf.end(),
-              [](const auto& x, const auto& y) { return x.first < y.first; });
-    for (const auto& [j, v] : rowbuf) {
-      colind.push_back(j);
-      val.push_back(v);
-    }
-    rowptr[out_i + 1] = static_cast<Index>(colind.size());
-  }
-  return Matrix<U>::adopt_csr(nr, static_cast<Index>(cols.size()),
-                              std::move(rowptr), std::move(colind),
-                              std::move(val));
+  };
+  // The per-row computation (binary-search intersection) costs as much as
+  // the row itself, so use the staged driver: each row intersects once.
+  return build_csr_staged<U>(
+      nr, static_cast<Index>(cols.size()),
+      [&](Index i, auto&& emit) {
+        const auto avals = a.row_vals(rows[i]);
+        intersect_row(rows[i],
+                      [&](std::size_t k, Index pos) { emit(pos, avals[k]); });
+      },
+      work);
 }
 
 template <typename U>
 Vector<U> extract_compute(const Vector<U>& u, std::span<const Index> idx) {
-  std::vector<std::pair<Index, U>> buf;
+  // Output positions follow idx order, so driving by position emits sorted
+  // coordinates directly — no staging buffer, no output sort.
+  std::vector<Index> oi;
+  std::vector<U> ov;
   for (Index k = 0; k < static_cast<Index>(idx.size()); ++k) {
     if (idx[k] >= u.size()) {
       throw IndexOutOfBounds("extract: index " + std::to_string(idx[k]));
     }
     if (const auto v = u.at(idx[k])) {
-      buf.emplace_back(k, *v);
+      oi.push_back(k);
+      ov.push_back(*v);
     }
-  }
-  std::sort(buf.begin(), buf.end(),
-            [](const auto& x, const auto& y) { return x.first < y.first; });
-  std::vector<Index> oi;
-  std::vector<U> ov;
-  oi.reserve(buf.size());
-  ov.reserve(buf.size());
-  for (const auto& [i, v] : buf) {
-    oi.push_back(i);
-    ov.push_back(v);
   }
   return Vector<U>::adopt_sorted(static_cast<Index>(idx.size()),
                                  std::move(oi), std::move(ov));

@@ -4,8 +4,10 @@
 // suite also uses them to build structured inputs with known properties.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 
+#include "grb/detail/csr_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -19,32 +21,36 @@ Matrix<W> kronecker_compute(MulOp mul, const Matrix<A>& a,
                             const Matrix<B>& b) {
   const Index nr = a.nrows() * b.nrows();
   const Index nc = a.ncols() * b.ncols();
-  std::vector<Index> rowptr(nr + 1, 0);
-  std::vector<Index> colind;
-  std::vector<W> val;
-  colind.reserve(static_cast<std::size_t>(a.nvals()) * b.nvals());
-  val.reserve(static_cast<std::size_t>(a.nvals()) * b.nvals());
-  for (Index ia = 0; ia < a.nrows(); ++ia) {
-    const auto acols = a.row_cols(ia);
-    const auto avals = a.row_vals(ia);
-    for (Index ib = 0; ib < b.nrows(); ++ib) {
-      const auto bcols = b.row_cols(ib);
-      const auto bvals = b.row_vals(ib);
-      // Row ia*bn + ib of C: blocks appear in increasing a-column order and
-      // columns within each block are sorted, so output stays sorted.
-      for (std::size_t ka = 0; ka < acols.size(); ++ka) {
-        const Index col_base = acols[ka] * b.ncols();
-        for (std::size_t kb = 0; kb < bcols.size(); ++kb) {
-          colind.push_back(col_base + bcols[kb]);
-          val.push_back(static_cast<W>(
-              mul(static_cast<W>(avals[ka]), static_cast<W>(bvals[kb]))));
+  // Output row (ia, ib) holds deg(ia) × deg(ib) entries, so the symbolic
+  // pass is pure arithmetic and the numeric fill parallelises per row.
+  const Index work = static_cast<Index>(
+      static_cast<std::size_t>(a.nvals()) * std::max<Index>(b.nvals(), 1));
+  return build_csr<W>(
+      nr, nc,
+      [&](Index i) {
+        return a.row_degree(i / b.nrows()) * b.row_degree(i % b.nrows());
+      },
+      [&](Index i, std::span<Index> cols, std::span<W> vals) {
+        const Index ia = i / b.nrows();
+        const Index ib = i % b.nrows();
+        const auto acols = a.row_cols(ia);
+        const auto avals = a.row_vals(ia);
+        const auto bcols = b.row_cols(ib);
+        const auto bvals = b.row_vals(ib);
+        // Blocks appear in increasing a-column order and columns within
+        // each block are sorted, so the row stays sorted.
+        std::size_t w = 0;
+        for (std::size_t ka = 0; ka < acols.size(); ++ka) {
+          const Index col_base = acols[ka] * b.ncols();
+          for (std::size_t kb = 0; kb < bcols.size(); ++kb) {
+            cols[w] = col_base + bcols[kb];
+            vals[w] = static_cast<W>(
+                mul(static_cast<W>(avals[ka]), static_cast<W>(bvals[kb])));
+            ++w;
+          }
         }
-      }
-      rowptr[ia * b.nrows() + ib + 1] = static_cast<Index>(colind.size());
-    }
-  }
-  return Matrix<W>::adopt_csr(nr, nc, std::move(rowptr), std::move(colind),
-                              std::move(val));
+      },
+      work);
 }
 
 }  // namespace detail

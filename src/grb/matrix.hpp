@@ -34,6 +34,15 @@ struct Tuple {
   friend bool operator==(const Tuple&, const Tuple&) = default;
 };
 
+/// Whether adopt_csr verifies the CSR invariants of the adopted arrays.
+/// kDebug (the default) checks in debug builds only, so Release kernels
+/// skip the O(nnz) verify; tests pin invariant violations with kAlways.
+enum class CsrCheck {
+  kDebug,
+  kAlways,
+  kNever,
+};
+
 template <typename T>
 class Matrix {
   static_assert(!std::is_same_v<T, bool>,
@@ -64,10 +73,7 @@ class Matrix {
                                std::to_string(ncols));
       }
     }
-    std::sort(tuples.begin(), tuples.end(),
-              [](const Tuple<T>& a, const Tuple<T>& b) {
-                return a.row < b.row || (a.row == b.row && a.col < b.col);
-              });
+    sort_tuples(tuples);
     m.colind_.reserve(tuples.size());
     m.val_.reserve(tuples.size());
     for (const auto& t : tuples) {
@@ -182,10 +188,7 @@ class Matrix {
                                std::to_string(ncols_));
       }
     }
-    std::sort(tuples.begin(), tuples.end(),
-              [](const Tuple<T>& a, const Tuple<T>& b) {
-                return a.row < b.row || (a.row == b.row && a.col < b.col);
-              });
+    sort_tuples(tuples);
     // Combine duplicates inside the batch first.
     std::vector<Tuple<T>> batch;
     batch.reserve(tuples.size());
@@ -244,7 +247,9 @@ class Matrix {
                                "," + std::to_string(j) + ")");
       }
     }
-    std::sort(pos.begin(), pos.end());
+    if (!std::is_sorted(pos.begin(), pos.end())) {
+      std::sort(pos.begin(), pos.end());
+    }
     pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
     std::vector<Index> new_rowptr(nrows_ + 1, 0);
     std::vector<Index> new_colind;
@@ -321,20 +326,25 @@ class Matrix {
   }
 
   /// Internal: adopts CSR arrays produced by a kernel. Invariants (sorted
-  /// rows, consistent rowptr) are the caller's responsibility; debug builds
-  /// verify them.
+  /// rows, consistent rowptr) are the caller's responsibility; `check`
+  /// controls whether they are verified (default: debug builds only, so the
+  /// Release hot path skips the O(nnz) walk).
   static Matrix adopt_csr(Index nrows, Index ncols,
                           std::vector<Index>&& rowptr,
-                          std::vector<Index>&& colind, std::vector<T>&& val) {
+                          std::vector<Index>&& colind, std::vector<T>&& val,
+                          CsrCheck check = CsrCheck::kDebug) {
     Matrix m;
     m.nrows_ = nrows;
     m.ncols_ = ncols;
     m.rowptr_ = std::move(rowptr);
     m.colind_ = std::move(colind);
     m.val_ = std::move(val);
-#ifndef NDEBUG
-    m.check_invariants();
+#ifdef NDEBUG
+    const bool verify = check == CsrCheck::kAlways;
+#else
+    const bool verify = check != CsrCheck::kNever;
 #endif
+    if (verify) m.check_invariants();
     return m;
   }
 
@@ -355,6 +365,18 @@ class Matrix {
   }
 
  private:
+  /// Row-major tuple sort with an O(k) already-sorted fast path: batches
+  /// emitted in CSR order (e.g. the incremental engine's netted change
+  /// sets, which iterate ordered maps) merge without paying the k log k.
+  static void sort_tuples(std::vector<Tuple<T>>& tuples) {
+    const auto less = [](const Tuple<T>& a, const Tuple<T>& b) {
+      return a.row < b.row || (a.row == b.row && a.col < b.col);
+    };
+    if (!std::is_sorted(tuples.begin(), tuples.end(), less)) {
+      std::sort(tuples.begin(), tuples.end(), less);
+    }
+  }
+
   void check_bounds(Index i, Index j) const {
     if (i >= nrows_ || j >= ncols_) {
       throw IndexOutOfBounds("(" + std::to_string(i) + "," +

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "grb/detail/csr_builder.hpp"
 #include "grb/detail/parallel.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
@@ -69,16 +70,76 @@ Matrix<W> mxm_compute(const SR& sr, const Matrix<A>& a, const Matrix<B>& b) {
                             std::to_string(b.ncols()));
   }
   const Index nrows = a.nrows();
-  std::vector<std::vector<Index>> row_cols(nrows);
-  std::vector<std::vector<W>> row_vals(nrows);
 
+  // Small-work path (the incremental engine's per-delta products): one SPA,
+  // one pass, staged append. Skips the symbolic pass's second parallel
+  // region and its extra O(ncols) stamp scratch, which would dominate the
+  // O(delta-nnz) useful work on the Fig. 5 hot path.
+  if (!staged_runs_parallel(nrows, a.nvals() + nrows)) {
+    // Same gate build_csr_staged applies to this work hint, so the driver
+    // below is guaranteed serial and the single shared SPA is safe.
+    Spa<W> spa(b.ncols());
+    return build_csr_staged<W>(
+        nrows, b.ncols(),
+        [&](Index i, auto&& emit) {
+          const auto acols = a.row_cols(i);
+          const auto avals = a.row_vals(i);
+          if (acols.empty()) return;
+          spa.new_row();
+          for (std::size_t k = 0; k < acols.size(); ++k) {
+            const Index t = acols[k];
+            const W aval = static_cast<W>(avals[k]);
+            const auto bcols = b.row_cols(t);
+            const auto bvals = b.row_vals(t);
+            for (std::size_t s = 0; s < bcols.size(); ++s) {
+              spa.accumulate(
+                  bcols[s],
+                  static_cast<W>(sr.mul(aval, static_cast<W>(bvals[s]))),
+                  sr.add);
+            }
+          }
+          spa.emit_sorted([&](Index j, const W& v) { emit(j, v); });
+        },
+        a.nvals() + nrows);
+  }
+
+  CsrBuilder<W> builder(nrows, b.ncols());
+
+  // Symbolic pass: each output row's pattern size via a value-free SPA —
+  // just the generation-stamp array, no values, no occupied list, no sort.
+  parallel_region([&](int tid, int nthreads) {
+    std::vector<std::uint64_t> stamp(b.ncols(), 0);
+    std::uint64_t generation = 0;
+    for (Index i = static_cast<Index>(tid); i < nrows;
+         i += static_cast<Index>(nthreads)) {
+      const auto acols = a.row_cols(i);
+      if (acols.empty()) continue;  // row count slots default to 0
+      ++generation;
+      Index nnz = 0;
+      for (const Index t : acols) {
+        for (const Index j : b.row_cols(t)) {
+          if (stamp[j] != generation) {
+            stamp[j] = generation;
+            ++nnz;
+          }
+        }
+      }
+      builder.count_row(i, nnz);
+    }
+  });
+  builder.finish_symbolic();
+
+  // Numeric pass: full SPA per thread, rows emitted sorted straight into
+  // their preallocated CSR slots.
   parallel_region([&](int tid, int nthreads) {
     Spa<W> spa(b.ncols());
     for (Index i = static_cast<Index>(tid); i < nrows;
          i += static_cast<Index>(nthreads)) {
+      const auto cols = builder.row_cols(i);
+      if (cols.empty()) continue;
+      const auto vals = builder.row_vals(i);
       const auto acols = a.row_cols(i);
       const auto avals = a.row_vals(i);
-      if (acols.empty()) continue;
       spa.new_row();
       for (std::size_t k = 0; k < acols.size(); ++k) {
         const Index t = acols[k];
@@ -91,32 +152,15 @@ Matrix<W> mxm_compute(const SR& sr, const Matrix<A>& a, const Matrix<B>& b) {
                          sr.add);
         }
       }
-      auto& oc = row_cols[i];
-      auto& ov = row_vals[i];
-      oc.reserve(spa.nnz());
-      ov.reserve(spa.nnz());
+      std::size_t w = 0;
       spa.emit_sorted([&](Index j, const W& v) {
-        oc.push_back(j);
-        ov.push_back(v);
+        cols[w] = j;
+        vals[w] = v;
+        ++w;
       });
     }
   });
-
-  // Assemble CSR from the per-row results.
-  std::vector<Index> rowptr(nrows + 1, 0);
-  for (Index i = 0; i < nrows; ++i) {
-    rowptr[i + 1] = rowptr[i] + static_cast<Index>(row_cols[i].size());
-  }
-  std::vector<Index> colind(rowptr[nrows]);
-  std::vector<W> val(rowptr[nrows]);
-  parallel_for(nrows, [&](Index i) {
-    std::copy(row_cols[i].begin(), row_cols[i].end(),
-              colind.begin() + static_cast<std::ptrdiff_t>(rowptr[i]));
-    std::copy(row_vals[i].begin(), row_vals[i].end(),
-              val.begin() + static_cast<std::ptrdiff_t>(rowptr[i]));
-  });
-  return Matrix<W>::adopt_csr(nrows, b.ncols(), std::move(rowptr),
-                              std::move(colind), std::move(val));
+  return std::move(builder).take();
 }
 
 }  // namespace detail

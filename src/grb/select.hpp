@@ -5,6 +5,7 @@
 
 #include <utility>
 
+#include "grb/detail/csr_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -31,22 +32,19 @@ Vector<U> select_compute(Pred pred, const Vector<U>& u) {
 
 template <typename Pred, typename U>
 Matrix<U> select_compute(Pred pred, const Matrix<U>& a) {
-  std::vector<Index> rowptr(a.nrows() + 1, 0);
-  std::vector<Index> colind;
-  std::vector<U> val;
-  for (Index i = 0; i < a.nrows(); ++i) {
-    const auto ai = a.row_cols(i);
-    const auto av = a.row_vals(i);
-    for (std::size_t k = 0; k < ai.size(); ++k) {
-      if (pred(i, ai[k], av[k])) {
-        colind.push_back(ai[k]);
-        val.push_back(av[k]);
-      }
-    }
-    rowptr[i + 1] = static_cast<Index>(colind.size());
-  }
-  return Matrix<U>::adopt_csr(a.nrows(), a.ncols(), std::move(rowptr),
-                              std::move(colind), std::move(val));
+  // Row-parallel filter through the staged pipeline. Staged (not the pure
+  // count/fill two-pass) so the user predicate runs exactly once per entry
+  // — a stateful or non-deterministic pred must not desync the passes.
+  return build_csr_staged<U>(
+      a.nrows(), a.ncols(),
+      [&](Index i, auto&& emit) {
+        const auto ai = a.row_cols(i);
+        const auto av = a.row_vals(i);
+        for (std::size_t k = 0; k < ai.size(); ++k) {
+          if (pred(i, ai[k], av[k])) emit(ai[k], av[k]);
+        }
+      },
+      a.nvals());
 }
 
 }  // namespace detail

@@ -40,11 +40,15 @@ class Vector {
     }
     Vector v(n);
     if (idx.empty()) return v;
+    // Already-sorted fast path (O(k) check): delta vectors emitted in index
+    // order (the common case in the incremental engine) skip the argsort.
     std::vector<std::size_t> order(idx.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return idx[a] < idx[b] || (idx[a] == idx[b] && a < b);
-    });
+    if (!std::is_sorted(idx.begin(), idx.end())) {
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return idx[a] < idx[b] || (idx[a] == idx[b] && a < b);
+      });
+    }
     v.ind_.reserve(idx.size());
     v.val_.reserve(idx.size());
     for (const std::size_t k : order) {

@@ -74,6 +74,23 @@ bool SocialGraph::add_friendship(NodeId a, NodeId b) {
   return true;
 }
 
+void SocialGraph::add_likes_unchecked(NodeId user, NodeId comment) {
+  const DenseId u = require_user(user);
+  const DenseId c = require_comment(comment);
+  comments_[c].likers.push_back(u);
+  users_[u].liked_comments.push_back(c);
+  ++likes_count_;
+}
+
+void SocialGraph::add_friendship_unchecked(NodeId a, NodeId b) {
+  if (a == b) fail("self-friendship", a);
+  const DenseId da = require_user(a);
+  const DenseId db = require_user(b);
+  users_[da].friends.push_back(db);
+  users_[db].friends.push_back(da);
+  ++friendship_count_;
+}
+
 namespace {
 /// Erases the first occurrence of `value` from `xs`; returns true if found.
 bool erase_value(std::vector<DenseId>& xs, DenseId value) {

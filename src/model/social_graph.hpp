@@ -81,6 +81,12 @@ class SocialGraph {
   /// grb::InvalidValue; duplicates are ignored. Returns true if new.
   bool add_friendship(NodeId a, NodeId b);
 
+  /// Bulk-load fast paths: the caller guarantees the edge is absent (e.g.
+  /// datagen's hash-set sampler), skipping the O(degree) duplicate scan
+  /// that makes checked adds quadratic on Zipf-popular endpoints.
+  void add_likes_unchecked(NodeId user, NodeId comment);
+  void add_friendship_unchecked(NodeId a, NodeId b);
+
   /// Removes a like edge if present; returns true if something was removed.
   /// Unknown entities throw grb::InvalidValue (a removal must reference
   /// things that exist, even when the edge itself is already gone).

@@ -1,7 +1,7 @@
 #include "queries/grb_state.hpp"
 
 #include <map>
-#include <set>
+#include <span>
 
 namespace queries {
 
@@ -152,43 +152,69 @@ GrbDelta GrbState::apply_change_set(const sm::ChangeSet& cs) {
   const Index nc = static_cast<Index>(comment_ids_.size());
   const Index nu = static_cast<Index>(user_ids_.size());
 
-  // Resolve the netted edge ops against the pre-batch matrices.
+  // Resolve the netted edge ops against the pre-batch matrices. The netting
+  // maps iterate in (row, col) order, so presence is decided with a single
+  // forward sweep per matrix — a row cursor that only moves right — rather
+  // than a fresh binary search per op, and every batch below comes out in
+  // CSR order, which the build/insert_tuples sorted fast paths detect.
+  const auto sorted_sweep = [](const grb::Matrix<Bool>& m, auto& want_map,
+                               auto&& on_add, auto&& on_remove) {
+    Index cur_row = static_cast<Index>(-1);
+    std::span<const Index> row_cols;
+    std::size_t cursor = 0;
+    for (const auto& [edge, want] : want_map) {
+      const auto [r, c] = edge;
+      if (r != cur_row) {
+        cur_row = r;
+        row_cols = r < m.nrows() ? m.row_cols(r) : std::span<const Index>{};
+        cursor = 0;
+      }
+      while (cursor < row_cols.size() && row_cols[cursor] < c) ++cursor;
+      const bool have = cursor < row_cols.size() && row_cols[cursor] == c;
+      if (want && !have) {
+        on_add(r, c);
+      } else if (!want && have) {
+        on_remove(r, c);
+      }
+    }
+  };
+
   std::vector<grb::Tuple<Bool>> like_tuples;
   std::vector<std::pair<Index, Index>> like_removals;
   std::vector<Index> like_plus_comments;
   std::vector<Index> like_minus_comments;
-  for (const auto& [edge, want] : like_want) {
-    const auto [c, u] = edge;
-    const bool have =
-        c < likes_.nrows() && u < likes_.ncols() && likes_.has(c, u);
-    if (want && !have) {
-      like_tuples.push_back({c, u, Bool{1}});
-      like_plus_comments.push_back(c);
-      delta.new_likes.emplace_back(c, u);
-    } else if (!want && have) {
-      like_removals.emplace_back(c, u);
-      like_minus_comments.push_back(c);
-      delta.removed_likes.emplace_back(c, u);
-    }
-  }
+  sorted_sweep(
+      likes_, like_want,
+      [&](Index c, Index u) {
+        like_tuples.push_back({c, u, Bool{1}});
+        like_plus_comments.push_back(c);
+        delta.new_likes.emplace_back(c, u);
+      },
+      [&](Index c, Index u) {
+        like_removals.emplace_back(c, u);
+        like_minus_comments.push_back(c);
+        delta.removed_likes.emplace_back(c, u);
+      });
   std::vector<grb::Tuple<Bool>> friend_tuples;
   std::vector<std::pair<Index, Index>> friend_removals;
-  for (const auto& [edge, want] : friend_want) {
-    const auto [a, b] = edge;
-    const bool have =
-        a < friends_.nrows() && b < friends_.ncols() && friends_.has(a, b);
-    if (want && !have) {
-      friend_tuples.push_back({a, b, Bool{1}});
-      friend_tuples.push_back({b, a, Bool{1}});
-      delta.new_friendships.emplace_back(a, b);
-    } else if (!want && have) {
-      friend_removals.emplace_back(a, b);
-      friend_removals.emplace_back(b, a);
-      delta.removed_friendships.emplace_back(a, b);
-    }
-  }
+  sorted_sweep(
+      friends_, friend_want,
+      [&](Index a, Index b) {
+        friend_tuples.push_back({a, b, Bool{1}});
+        friend_tuples.push_back({b, a, Bool{1}});
+        delta.new_friendships.emplace_back(a, b);
+      },
+      [&](Index a, Index b) {
+        friend_removals.emplace_back(a, b);
+        friend_removals.emplace_back(b, a);
+        delta.removed_friendships.emplace_back(a, b);
+      });
 
-  // Grow to the post-update dimensions, then merge the edge batches.
+  // Grow to the post-update dimensions, then apply each batch as a single
+  // sorted insert_tuples / remove_positions merge per matrix per change
+  // set. The like batch and both removal batches arrive already in CSR
+  // order from the sorted sweep, so their merges skip the re-sort; only the
+  // friendship batch (forward + mirrored directions) pays one sort.
   root_post_.resize(np, nc);
   likes_.resize(nc, nu);
   friends_.resize(nu, nu);

@@ -1,0 +1,230 @@
+// Pins the matrix write_back path — the row-parallel two-pass merge of C,
+// M, and T — across the masked / accumulated / replace descriptor space,
+// and the adopt_csr invariant checks the kernel pipeline relies on
+// (CsrCheck::kAlways verifies even in Release builds).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "grb/grb.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using grb::CsrCheck;
+using grb::Descriptor;
+using grb::Index;
+using grb::Matrix;
+using grb::NoAccum;
+using U64 = std::uint64_t;
+
+// C through an unmasked eWiseAdd with a zero operand acts as C<M> (+)= T
+// with T = A: a direct probe of the write_back merge rules.
+Matrix<U64> zeros(Index n = 4) { return Matrix<U64>(n, n); }
+
+Matrix<U64> mat(std::vector<grb::Tuple<U64>> tuples, Index n = 4) {
+  return Matrix<U64>::build(n, n, std::move(tuples));
+}
+
+TEST(MatrixWriteBack, MaskRestrictsWritesAndKeepsOutside) {
+  auto c = mat({{0, 0, 100}, {1, 1, 200}});
+  const auto t = mat({{0, 0, 1}, {1, 1, 2}, {2, 2, 3}});
+  const auto mask = mat({{1, 1, 1}, {2, 2, 1}});
+  grb::eWiseAdd(c, &mask, NoAccum{}, grb::Plus<U64>{}, t, zeros());
+  // Outside the mask (0,0) survives untouched; masked positions take T.
+  EXPECT_EQ(c.at(0, 0).value(), 100u);
+  EXPECT_EQ(c.at(1, 1).value(), 2u);
+  EXPECT_EQ(c.at(2, 2).value(), 3u);
+  EXPECT_EQ(c.nvals(), 3u);
+}
+
+TEST(MatrixWriteBack, NoAccumDeletesInMaskPositionsWithoutResult) {
+  auto c = mat({{1, 1, 10}, {3, 3, 30}});
+  const auto t = mat({{3, 3, 99}});
+  const auto mask = mat({{1, 1, 1}, {3, 3, 1}});
+  grb::eWiseAdd(c, &mask, NoAccum{}, grb::Plus<U64>{}, t, zeros());
+  EXPECT_FALSE(c.at(1, 1).has_value());  // in mask, no T entry => deleted
+  EXPECT_EQ(c.at(3, 3).value(), 99u);
+}
+
+TEST(MatrixWriteBack, AccumKeepsOldEntriesWhereResultEmpty) {
+  auto c = mat({{1, 1, 10}, {3, 3, 30}});
+  const auto t = mat({{3, 3, 99}});
+  const auto mask = mat({{1, 1, 1}, {3, 3, 1}});
+  grb::eWiseAdd(c, &mask, grb::Plus<U64>{}, grb::Plus<U64>{}, t, zeros());
+  EXPECT_EQ(c.at(1, 1).value(), 10u);   // kept by accumulator
+  EXPECT_EQ(c.at(3, 3).value(), 129u);  // 30 + 99
+}
+
+TEST(MatrixWriteBack, ReplaceClearsOutsideMask) {
+  auto c = mat({{0, 0, 100}, {1, 1, 200}});
+  const auto t = mat({{1, 1, 5}});
+  const auto mask = mat({{1, 1, 1}});
+  Descriptor desc;
+  desc.replace = true;
+  grb::eWiseAdd(c, &mask, NoAccum{}, grb::Plus<U64>{}, t, zeros(), desc);
+  EXPECT_FALSE(c.at(0, 0).has_value());  // outside mask, replaced away
+  EXPECT_EQ(c.at(1, 1).value(), 5u);
+  EXPECT_EQ(c.nvals(), 1u);
+}
+
+TEST(MatrixWriteBack, ReplaceWithAccumStillClearsOutsideMask) {
+  auto c = mat({{0, 0, 100}, {1, 1, 200}});
+  const auto t = mat({{1, 1, 5}});
+  const auto mask = mat({{1, 1, 1}});
+  Descriptor desc;
+  desc.replace = true;
+  grb::eWiseAdd(c, &mask, grb::Plus<U64>{}, grb::Plus<U64>{}, t, zeros(),
+                desc);
+  EXPECT_FALSE(c.at(0, 0).has_value());
+  EXPECT_EQ(c.at(1, 1).value(), 205u);  // 200 + 5 inside the mask
+}
+
+TEST(MatrixWriteBack, ComplementMaskWritesOutsidePattern) {
+  auto c = zeros();
+  const auto t = mat({{0, 0, 1}, {1, 1, 2}});
+  const auto mask = mat({{0, 0, 1}});
+  Descriptor desc;
+  desc.complement_mask = true;
+  grb::eWiseAdd(c, &mask, NoAccum{}, grb::Plus<U64>{}, t, zeros(), desc);
+  EXPECT_FALSE(c.at(0, 0).has_value());  // masked out by complement
+  EXPECT_EQ(c.at(1, 1).value(), 2u);
+}
+
+TEST(MatrixWriteBack, ValuedMaskUsesTruthinessStructuralIgnoresIt) {
+  const auto t = mat({{0, 0, 1}, {1, 1, 2}});
+  const auto mask = mat({{0, 0, 0}, {1, 1, 7}});  // (0,0) stored but falsy
+  auto c = zeros();
+  grb::eWiseAdd(c, &mask, NoAccum{}, grb::Plus<U64>{}, t, zeros());
+  EXPECT_FALSE(c.at(0, 0).has_value());
+  EXPECT_EQ(c.at(1, 1).value(), 2u);
+
+  auto s = zeros();
+  Descriptor desc;
+  desc.structural_mask = true;
+  grb::eWiseAdd(s, &mask, NoAccum{}, grb::Plus<U64>{}, t, zeros(), desc);
+  EXPECT_EQ(s.at(0, 0).value(), 1u);  // structure admits the falsy entry
+  EXPECT_EQ(s.at(1, 1).value(), 2u);
+}
+
+// The parallel merge must agree with the serial one entry-for-entry on a
+// social-shaped workload big enough to cross the parallel threshold.
+TEST(MatrixWriteBack, ParallelMatchesSerialOnLargeMaskedAccum) {
+  grbsm::support::Xoshiro256 rng(7);
+  const Index n = 600;
+  std::vector<grb::Tuple<U64>> ct, tt, mt;
+  for (int k = 0; k < 30000; ++k) {
+    ct.push_back({rng.bounded(n), rng.bounded(n), rng.bounded(100) + 1});
+    tt.push_back({rng.bounded(n), rng.bounded(n), rng.bounded(100) + 1});
+    mt.push_back({rng.bounded(n), rng.bounded(n), rng.bounded(2)});
+  }
+  const auto base = Matrix<U64>::build(n, n, ct, grb::Plus<U64>{});
+  const auto t = Matrix<U64>::build(n, n, tt, grb::Plus<U64>{});
+  const auto mask = Matrix<U64>::build(n, n, mt, grb::Plus<U64>{});
+  Descriptor desc;
+  desc.replace = true;
+
+  auto serial = base;
+  {
+    grb::ThreadGuard guard(1);
+    grb::eWiseAdd(serial, &mask, grb::Plus<U64>{}, grb::Plus<U64>{}, t,
+                  Matrix<U64>(n, n), desc);
+  }
+  auto parallel = base;
+  {
+    grb::ThreadGuard guard(4);
+    grb::eWiseAdd(parallel, &mask, grb::Plus<U64>{}, grb::Plus<U64>{}, t,
+                  Matrix<U64>(n, n), desc);
+  }
+  serial.check_invariants();
+  parallel.check_invariants();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(AdoptCsr, AcceptsValidArraysAndVerifiesWhenAsked) {
+  std::vector<Index> rowptr{0, 2, 2, 3};
+  std::vector<Index> colind{0, 2, 1};
+  std::vector<U64> val{1, 2, 3};
+  const auto m =
+      Matrix<U64>::adopt_csr(3, 3, std::move(rowptr), std::move(colind),
+                             std::move(val), CsrCheck::kAlways);
+  EXPECT_EQ(m.nvals(), 3u);
+  EXPECT_EQ(m.at(0, 2).value(), 2u);
+}
+
+TEST(AdoptCsr, RejectsUnsortedRow) {
+  std::vector<Index> rowptr{0, 2};
+  std::vector<Index> colind{2, 0};  // descending within the row
+  std::vector<U64> val{1, 2};
+  EXPECT_THROW(Matrix<U64>::adopt_csr(1, 3, std::move(rowptr),
+                                      std::move(colind), std::move(val),
+                                      CsrCheck::kAlways),
+               grb::InvalidValue);
+}
+
+TEST(AdoptCsr, RejectsDuplicateColumnInRow) {
+  std::vector<Index> rowptr{0, 2};
+  std::vector<Index> colind{1, 1};
+  std::vector<U64> val{1, 2};
+  EXPECT_THROW(Matrix<U64>::adopt_csr(1, 3, std::move(rowptr),
+                                      std::move(colind), std::move(val),
+                                      CsrCheck::kAlways),
+               grb::InvalidValue);
+}
+
+TEST(AdoptCsr, RejectsBadRowptr) {
+  {
+    // rowptr does not end at nnz.
+    std::vector<Index> rowptr{0, 1};
+    std::vector<Index> colind{0, 1};
+    std::vector<U64> val{1, 2};
+    EXPECT_THROW(Matrix<U64>::adopt_csr(1, 2, std::move(rowptr),
+                                        std::move(colind), std::move(val),
+                                        CsrCheck::kAlways),
+                 grb::InvalidValue);
+  }
+  {
+    // Non-monotone rowptr.
+    std::vector<Index> rowptr{0, 2, 1, 2};
+    std::vector<Index> colind{0, 1};
+    std::vector<U64> val{1, 2};
+    EXPECT_THROW(Matrix<U64>::adopt_csr(3, 2, std::move(rowptr),
+                                        std::move(colind), std::move(val),
+                                        CsrCheck::kAlways),
+                 grb::InvalidValue);
+  }
+  {
+    // Wrong rowptr length for nrows.
+    std::vector<Index> rowptr{0, 1};
+    std::vector<Index> colind{0};
+    std::vector<U64> val{1};
+    EXPECT_THROW(Matrix<U64>::adopt_csr(2, 2, std::move(rowptr),
+                                        std::move(colind), std::move(val),
+                                        CsrCheck::kAlways),
+                 grb::InvalidValue);
+  }
+}
+
+TEST(AdoptCsr, RejectsColumnOutOfRange) {
+  std::vector<Index> rowptr{0, 1};
+  std::vector<Index> colind{5};
+  std::vector<U64> val{1};
+  EXPECT_THROW(Matrix<U64>::adopt_csr(1, 3, std::move(rowptr),
+                                      std::move(colind), std::move(val),
+                                      CsrCheck::kAlways),
+               grb::InvalidValue);
+}
+
+TEST(AdoptCsr, NeverSkipsTheCheckEvenInDebug) {
+  // kNever adopts broken arrays without throwing — callers own the risk.
+  std::vector<Index> rowptr{0, 2};
+  std::vector<Index> colind{2, 0};
+  std::vector<U64> val{1, 2};
+  const auto m =
+      Matrix<U64>::adopt_csr(1, 3, std::move(rowptr), std::move(colind),
+                             std::move(val), CsrCheck::kNever);
+  EXPECT_EQ(m.nvals(), 2u);  // adopted verbatim
+}
+
+}  // namespace
