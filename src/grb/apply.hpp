@@ -7,6 +7,7 @@
 
 #include "grb/detail/csr_builder.hpp"
 #include "grb/detail/parallel.hpp"
+#include "grb/detail/sparse_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -18,14 +19,21 @@ namespace detail {
 
 template <typename W, typename UnaryOp, typename U>
 Vector<W> apply_compute(UnaryOp op, const Vector<U>& u) {
+  // Pattern-preserving, so the symbolic pass is trivial: chunking u's entry
+  // positions, each range holds exactly its own length. The numeric pass
+  // copies indices and maps values through op, both in parallel.
   const auto ui = u.indices();
   const auto uv = u.values();
-  std::vector<Index> oi(ui.begin(), ui.end());
-  std::vector<W> ov(uv.size());
-  parallel_for(static_cast<Index>(uv.size()), [&](Index k) {
-    ov[k] = static_cast<W>(op(uv[k]));
-  });
-  return Vector<W>::adopt_sorted(u.size(), std::move(oi), std::move(ov));
+  return build_sparse<W>(
+      u.size(), static_cast<Index>(ui.size()),
+      [](Index lo, Index hi) { return hi - lo; },
+      [&](Index lo, Index hi, std::span<Index> idx, std::span<W> val) {
+        for (Index k = lo; k < hi; ++k) {
+          idx[k - lo] = ui[k];
+          val[k - lo] = static_cast<W>(op(uv[k]));
+        }
+      },
+      static_cast<Index>(ui.size()));
 }
 
 template <typename W, typename UnaryOp, typename U>

@@ -15,7 +15,9 @@
 
 namespace grb {
 
-/// w<m> (+)= u over the whole vector.
+/// w<m> (+)= u over the whole vector. The compute side is the identity, so
+/// all the work — the three-way C/M/T merge — happens in write_back, which
+/// runs chunk-parallel through the staged sparse pipeline.
 template <typename W, typename M, typename Accum, typename U>
 void assign(Vector<W>& w, const Vector<M>* mask, Accum accum,
             const Vector<U>& u, const Descriptor& desc = {}) {
@@ -25,6 +27,9 @@ void assign(Vector<W>& w, const Vector<M>* mask, Accum accum,
 
 namespace detail {
 
+// Stays serial by design: the emit path throws on duplicate targets, which
+// must not escape a parallel region, and subset maps on the incremental hot
+// path are delta-sized. The masked write_back that follows is parallel.
 template <typename W, typename U>
 Vector<W> subset_to_full(Index size, std::span<const Index> idx,
                          const Vector<U>& u) {

@@ -23,6 +23,8 @@ int threads() noexcept {
 #endif
 }
 
+bool threads_pinned() noexcept { return g_threads.load() != 0; }
+
 ThreadGuard::ThreadGuard(int n) noexcept : saved_(g_threads.load()) {
   set_threads(n);
 }

@@ -13,6 +13,13 @@ void set_threads(int n) noexcept;
 /// Current thread cap (>= 1).
 int threads() noexcept;
 
+/// True when an explicit cap is in force (set_threads with n >= 1), false
+/// when the OpenMP default applies. Explicitly pinned counts are honoured
+/// even above the visible processor count — the differential test harness
+/// and the paper's fixed 1-vs-8-thread runs rely on it — while the default
+/// is clamped to the processors available to this process.
+bool threads_pinned() noexcept;
+
 /// RAII guard: sets the thread cap for a scope and restores it after.
 class ThreadGuard {
  public:

@@ -117,14 +117,9 @@ Matrix<T> build_csr(Index nrows, Index ncols, CountF&& count, FillF&& fill,
 /// `emit_row(i, emit)` must call `emit(col, value)` once per entry of row i.
 /// No omp barriers are used, so this is safe to call from inside another
 /// parallel region (it then runs on a nested single-thread team).
-/// The staged driver's serial-vs-parallel gate, exposed so callers that
-/// share scratch across rows (mxm's small-work SPA) can key off the exact
-/// same decision instead of duplicating it.
-inline bool staged_runs_parallel(Index nrows, Index work_hint = 0) {
-  const Index work = work_hint == 0 ? nrows : work_hint;
-  return effective_threads() > 1 && work >= kParallelThreshold;
-}
-
+/// The serial-vs-parallel gate lives in parallel.hpp (staged_runs_parallel)
+/// so the vector pipeline and callers that share scratch across rows
+/// (mxm's small-work SPA) key off the exact same decision.
 template <typename T, typename EmitRowF>
 Matrix<T> build_csr_staged(Index nrows, Index ncols, EmitRowF&& emit_row,
                            Index work_hint = 0) {

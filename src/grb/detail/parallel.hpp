@@ -21,13 +21,16 @@ namespace grb::detail {
 /// operands (the common case for incremental deltas) stay serial.
 inline constexpr Index kParallelThreshold = 4096;
 
-/// Threads actually worth spawning: the global cap (grb::set_threads)
-/// clamped to the processors available to this process. omp_get_num_procs
-/// respects cpusets/affinity, so a container pinned to one core runs
-/// serial even when the cap asks for eight — oversubscription only buys
-/// barrier overhead.
+/// Threads actually worth spawning. An explicitly pinned cap
+/// (grb::set_threads with n >= 1) is honoured as-is: the paper's harness
+/// pins 1 vs 8 threads on the same binary, and the parallel-equivalence
+/// suite deliberately oversubscribes small CI runners to drive the
+/// multi-threaded code paths. The unpinned default is clamped to the
+/// processors available to this process (omp_get_num_procs respects
+/// cpusets/affinity), where oversubscription only buys barrier overhead.
 inline int effective_threads() noexcept {
 #ifdef _OPENMP
+  if (grb::threads_pinned()) return grb::threads();
   const int procs = omp_get_num_procs();
   return grb::threads() < procs ? grb::threads() : procs;
 #else
@@ -71,6 +74,45 @@ void parallel_region(G&& g) {
 #else
   g(0, 1);
 #endif
+}
+
+/// The staged two-pass drivers' serial-vs-parallel gate (build_csr_staged,
+/// build_sparse_staged, scatter_reduce), exposed so callers that share
+/// scratch across rows (mxm's small-work SPA) can key off the exact same
+/// decision instead of duplicating it.
+inline bool staged_runs_parallel(Index n, Index work_hint = 0) {
+  const Index work = work_hint == 0 ? n : work_hint;
+  return effective_threads() > 1 && work >= kParallelThreshold;
+}
+
+/// Chunk width of parallel_fold's reduction grid. Fixed (never derived from
+/// the delivered team size) so the fold tree — and therefore the result,
+/// even for non-associative float addition — is bit-identical across thread
+/// counts.
+inline constexpr Index kFoldChunk = 4096;
+
+/// Deterministic parallel reduction: the domain [0, n) is cut into
+/// fixed-width chunks, `chunk_fold(lo, hi)` reduces each chunk serially (in
+/// parallel across chunks), and the per-chunk partials are joined in chunk
+/// order. The tree shape depends only on n, so results are reproducible at
+/// any thread count.
+template <typename S, typename ChunkF, typename JoinF>
+S parallel_fold(Index n, S init, ChunkF&& chunk_fold, JoinF&& join) {
+  if (n == 0) return init;
+  const Index nchunks = (n + kFoldChunk - 1) / kFoldChunk;
+  if (nchunks == 1) return join(init, chunk_fold(Index{0}, n));
+  std::vector<S> partial(nchunks);
+  parallel_for(
+      nchunks,
+      [&](Index c) {
+        const Index lo = c * kFoldChunk;
+        const Index hi = std::min<Index>(n, lo + kFoldChunk);
+        partial[c] = chunk_fold(lo, hi);
+      },
+      n);
+  S acc = init;
+  for (const S& p : partial) acc = join(acc, p);
+  return acc;
 }
 
 /// In-place exclusive prefix sum in CSR rowptr convention: on entry

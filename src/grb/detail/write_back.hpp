@@ -5,10 +5,12 @@
 // and uniformly testable.
 #pragma once
 
+#include <algorithm>
 #include <type_traits>
 #include <utility>
 
 #include "grb/detail/csr_builder.hpp"
+#include "grb/detail/sparse_builder.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
 #include "grb/vector.hpp"
@@ -16,12 +18,21 @@
 namespace grb::detail {
 
 /// Sorted-index membership cursor over a mask vector. Queries must arrive in
-/// nondecreasing index order (write_back iterates merges in order).
+/// nondecreasing index order (write_back iterates merges in order). `from`
+/// positions the cursor at the first mask entry >= from, so chunked merges
+/// can open a cursor mid-vector in O(log nvals).
 template <typename MT>
 class MaskCursor {
  public:
-  MaskCursor(const Vector<MT>* mask, bool complement, bool structural)
-      : mask_(mask), complement_(complement), structural_(structural) {}
+  MaskCursor(const Vector<MT>* mask, bool complement, bool structural,
+             Index from = 0)
+      : mask_(mask), complement_(complement), structural_(structural) {
+    if (mask_ != nullptr && from > 0) {
+      const auto idx = mask_->indices();
+      pos_ = static_cast<std::size_t>(
+          std::lower_bound(idx.begin(), idx.end(), from) - idx.begin());
+    }
+  }
 
   bool admits(Index i) {
     // Complement of an absent mask admits nothing (GraphBLAS spec).
@@ -64,62 +75,63 @@ void write_back(Vector<CT>& c, const Vector<MT>* mask, Accum accum,
       return;
     }
   }
-  MaskCursor<MT> in_mask(mask, desc.complement_mask, desc.structural_mask);
-
   const auto ci = c.indices();
   const auto cv = c.values();
   const auto ti = t.indices();
   const auto tv = t.values();
-  std::vector<Index> out_i;
-  std::vector<CT> out_v;
-  out_i.reserve(ci.size() + ti.size());
-  out_v.reserve(ci.size() + ti.size());
 
-  std::size_t a = 0, b = 0;
-  while (a < ci.size() || b < ti.size()) {
-    const bool take_c = b >= ti.size() || (a < ci.size() && ci[a] < ti[b]);
-    const bool take_both =
-        a < ci.size() && b < ti.size() && ci[a] == ti[b];
-    const Index i = take_both ? ci[a] : (take_c ? ci[a] : ti[b]);
-    const bool admitted = in_mask.admits(i);
-    if (take_both) {
-      if (admitted) {
-        if constexpr (has_accum_v<Accum>) {
-          out_i.push_back(i);
-          out_v.push_back(
-              static_cast<CT>(accum(cv[a], static_cast<CT>(tv[b]))));
-        } else {
-          out_i.push_back(i);
-          out_v.push_back(static_cast<CT>(tv[b]));
+  // Chunk-parallel three-way merge of C, M, and T through the staged
+  // two-pass pipeline: each index-domain range opens its cursors with a
+  // lower_bound and merges exactly once, so mask/accumulator application
+  // scales with the parallel kernels feeding it (the matrix branch below
+  // got the same treatment in the CSR pipeline).
+  const auto merge_range = [&](Index lo, Index hi, auto&& emit) {
+    std::size_t a = static_cast<std::size_t>(
+        std::lower_bound(ci.begin(), ci.end(), lo) - ci.begin());
+    std::size_t b = static_cast<std::size_t>(
+        std::lower_bound(ti.begin(), ti.end(), lo) - ti.begin());
+    MaskCursor<MT> in_mask(mask, desc.complement_mask, desc.structural_mask,
+                           lo);
+    while ((a < ci.size() && ci[a] < hi) || (b < ti.size() && ti[b] < hi)) {
+      const bool c_in = a < ci.size() && ci[a] < hi;
+      const bool t_in = b < ti.size() && ti[b] < hi;
+      const bool take_both = c_in && t_in && ci[a] == ti[b];
+      const bool take_c = !take_both && c_in && (!t_in || ci[a] < ti[b]);
+      const Index i = take_both || take_c ? ci[a] : ti[b];
+      const bool admitted = in_mask.admits(i);
+      if (take_both) {
+        if (admitted) {
+          if constexpr (has_accum_v<Accum>) {
+            emit(i, static_cast<CT>(accum(cv[a], static_cast<CT>(tv[b]))));
+          } else {
+            emit(i, static_cast<CT>(tv[b]));
+          }
+        } else if (!desc.replace) {
+          emit(i, cv[a]);
         }
-      } else if (!desc.replace) {
-        out_i.push_back(i);
-        out_v.push_back(cv[a]);
-      }
-      ++a;
-      ++b;
-    } else if (take_c) {
-      if (admitted) {
-        if constexpr (has_accum_v<Accum>) {
-          // Accumulator keeps existing entries where T has none.
-          out_i.push_back(i);
-          out_v.push_back(cv[a]);
+        ++a;
+        ++b;
+      } else if (take_c) {
+        if (admitted) {
+          if constexpr (has_accum_v<Accum>) {
+            // Accumulator keeps existing entries where T has none.
+            emit(i, cv[a]);
+          }
+          // No accum: in-mask position replaced by (empty) T => deleted.
+        } else if (!desc.replace) {
+          emit(i, cv[a]);
         }
-        // No accum: in-mask position replaced by (empty) T => deleted.
-      } else if (!desc.replace) {
-        out_i.push_back(i);
-        out_v.push_back(cv[a]);
+        ++a;
+      } else {  // T only
+        if (admitted) {
+          emit(i, static_cast<CT>(tv[b]));
+        }
+        ++b;
       }
-      ++a;
-    } else {  // T only
-      if (admitted) {
-        out_i.push_back(i);
-        out_v.push_back(static_cast<CT>(tv[b]));
-      }
-      ++b;
     }
-  }
-  c = Vector<CT>::adopt_sorted(c.size(), std::move(out_i), std::move(out_v));
+  };
+  c = build_sparse_staged<CT>(c.size(), c.size(), merge_range,
+                              static_cast<Index>(ci.size() + ti.size()));
 }
 
 /// C<M> (+)= T for matrices: a row-parallel merge of C, M, and T through

@@ -4,9 +4,11 @@
 // (scores' = scores ⊕ scores+) are vector eWiseAdds.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 
 #include "grb/detail/csr_builder.hpp"
+#include "grb/detail/sparse_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -15,6 +17,12 @@
 namespace grb {
 
 namespace detail {
+
+// The vector merges run chunk-parallel through the staged two-pass sparse
+// pipeline: each index-domain range opens its two cursors with a
+// lower_bound and merges exactly once, entries landing sorted in per-thread
+// staging. Small operands take the zero-copy serial path — exactly the
+// classic single merge.
 
 template <typename W, typename Op, typename U, typename V>
 Vector<W> ewise_add_compute(Op op, const Vector<U>& u, const Vector<V>& v) {
@@ -26,28 +34,32 @@ Vector<W> ewise_add_compute(Op op, const Vector<U>& u, const Vector<V>& v) {
   const auto uv = u.values();
   const auto vi = v.indices();
   const auto vv = v.values();
-  std::vector<Index> oi;
-  std::vector<W> ov;
-  oi.reserve(ui.size() + vi.size());
-  ov.reserve(ui.size() + vi.size());
-  std::size_t a = 0, b = 0;
-  while (a < ui.size() || b < vi.size()) {
-    if (b >= vi.size() || (a < ui.size() && ui[a] < vi[b])) {
-      oi.push_back(ui[a]);
-      ov.push_back(static_cast<W>(uv[a]));
-      ++a;
-    } else if (a >= ui.size() || vi[b] < ui[a]) {
-      oi.push_back(vi[b]);
-      ov.push_back(static_cast<W>(vv[b]));
-      ++b;
-    } else {
-      oi.push_back(ui[a]);
-      ov.push_back(static_cast<W>(op(static_cast<W>(uv[a]), static_cast<W>(vv[b]))));
-      ++a;
-      ++b;
-    }
-  }
-  return Vector<W>::adopt_sorted(u.size(), std::move(oi), std::move(ov));
+  return build_sparse_staged<W>(
+      u.size(), u.size(),
+      [&](Index lo, Index hi, auto&& emit) {
+        std::size_t a = static_cast<std::size_t>(
+            std::lower_bound(ui.begin(), ui.end(), lo) - ui.begin());
+        std::size_t b = static_cast<std::size_t>(
+            std::lower_bound(vi.begin(), vi.end(), lo) - vi.begin());
+        while ((a < ui.size() && ui[a] < hi) ||
+               (b < vi.size() && vi[b] < hi)) {
+          const bool u_in = a < ui.size() && ui[a] < hi;
+          const bool v_in = b < vi.size() && vi[b] < hi;
+          if (u_in && (!v_in || ui[a] < vi[b])) {
+            emit(ui[a], static_cast<W>(uv[a]));
+            ++a;
+          } else if (v_in && (!u_in || vi[b] < ui[a])) {
+            emit(vi[b], static_cast<W>(vv[b]));
+            ++b;
+          } else {
+            emit(ui[a], static_cast<W>(op(static_cast<W>(uv[a]),
+                                          static_cast<W>(vv[b]))));
+            ++a;
+            ++b;
+          }
+        }
+      },
+      static_cast<Index>(ui.size() + vi.size()));
 }
 
 template <typename W, typename Op, typename U, typename V>
@@ -60,22 +72,27 @@ Vector<W> ewise_mult_compute(Op op, const Vector<U>& u, const Vector<V>& v) {
   const auto uv = u.values();
   const auto vi = v.indices();
   const auto vv = v.values();
-  std::vector<Index> oi;
-  std::vector<W> ov;
-  std::size_t a = 0, b = 0;
-  while (a < ui.size() && b < vi.size()) {
-    if (ui[a] < vi[b]) {
-      ++a;
-    } else if (vi[b] < ui[a]) {
-      ++b;
-    } else {
-      oi.push_back(ui[a]);
-      ov.push_back(static_cast<W>(op(static_cast<W>(uv[a]), static_cast<W>(vv[b]))));
-      ++a;
-      ++b;
-    }
-  }
-  return Vector<W>::adopt_sorted(u.size(), std::move(oi), std::move(ov));
+  return build_sparse_staged<W>(
+      u.size(), u.size(),
+      [&](Index lo, Index hi, auto&& emit) {
+        std::size_t a = static_cast<std::size_t>(
+            std::lower_bound(ui.begin(), ui.end(), lo) - ui.begin());
+        std::size_t b = static_cast<std::size_t>(
+            std::lower_bound(vi.begin(), vi.end(), lo) - vi.begin());
+        while (a < ui.size() && ui[a] < hi && b < vi.size() && vi[b] < hi) {
+          if (ui[a] < vi[b]) {
+            ++a;
+          } else if (vi[b] < ui[a]) {
+            ++b;
+          } else {
+            emit(ui[a], static_cast<W>(op(static_cast<W>(uv[a]),
+                                          static_cast<W>(vv[b]))));
+            ++a;
+            ++b;
+          }
+        }
+      },
+      static_cast<Index>(ui.size() + vi.size()));
 }
 
 template <typename W, typename Op, typename U, typename V>

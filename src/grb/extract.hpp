@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "grb/detail/csr_builder.hpp"
+#include "grb/detail/sparse_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -98,21 +99,25 @@ Matrix<U> extract_compute(const Matrix<U>& a, std::span<const Index> rows,
 
 template <typename U>
 Vector<U> extract_compute(const Vector<U>& u, std::span<const Index> idx) {
-  // Output positions follow idx order, so driving by position emits sorted
-  // coordinates directly — no staging buffer, no output sort.
-  std::vector<Index> oi;
-  std::vector<U> ov;
-  for (Index k = 0; k < static_cast<Index>(idx.size()); ++k) {
-    if (idx[k] >= u.size()) {
-      throw IndexOutOfBounds("extract: index " + std::to_string(idx[k]));
-    }
-    if (const auto v = u.at(idx[k])) {
-      oi.push_back(k);
-      ov.push_back(*v);
+  // Bounds are validated up front: the chunked lookups below run inside
+  // parallel regions, where a throw would terminate.
+  for (const Index i : idx) {
+    if (i >= u.size()) {
+      throw IndexOutOfBounds("extract: index " + std::to_string(i));
     }
   }
-  return Vector<U>::adopt_sorted(static_cast<Index>(idx.size()),
-                                 std::move(oi), std::move(ov));
+  // Output positions follow idx order, so driving by position emits sorted
+  // coordinates directly; each output chunk probes u independently through
+  // the staged pipeline (the per-position binary search costs as much as
+  // the entry, so counting separately would double it).
+  return build_sparse_staged<U>(
+      static_cast<Index>(idx.size()), static_cast<Index>(idx.size()),
+      [&](Index lo, Index hi, auto&& emit) {
+        for (Index k = lo; k < hi; ++k) {
+          if (const auto v = u.at(idx[k])) emit(k, *v);
+        }
+      },
+      static_cast<Index>(idx.size()));
 }
 
 }  // namespace detail

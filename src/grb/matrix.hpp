@@ -34,14 +34,9 @@ struct Tuple {
   friend bool operator==(const Tuple&, const Tuple&) = default;
 };
 
-/// Whether adopt_csr verifies the CSR invariants of the adopted arrays.
-/// kDebug (the default) checks in debug builds only, so Release kernels
-/// skip the O(nnz) verify; tests pin invariant violations with kAlways.
-enum class CsrCheck {
-  kDebug,
-  kAlways,
-  kNever,
-};
+// CsrCheck (the adopt-time invariant-check toggle) lives in grb/types.hpp:
+// it is shared with Vector::adopt_sorted, which verifies the same
+// sorted-unique/in-range invariants for sparse vectors.
 
 template <typename T>
 class Matrix {

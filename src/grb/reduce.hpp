@@ -2,11 +2,19 @@
 // vector into a scalar, under a commutative monoid. Alg. 1 line 6 is a
 // row-wise plus-reduction of RootPost; Q2 incremental Step 3 is a row-wise
 // lor-reduction of the AC matrix.
+//
+// reduce_rows is a chunk-parallel two-pass kernel: the symbolic pass counts
+// nonempty rows per chunk from the rowptr degrees (O(1) per row), the
+// numeric pass folds each row serially — so per-row fold order, and hence
+// the result, is identical at every thread count. reduce_cols is the
+// push-direction scatter (detail::scatter_reduce, per-thread accumulators).
+// Scalar reductions fold over detail::parallel_fold's fixed chunk grid.
 #pragma once
 
 #include <utility>
 
 #include "grb/detail/parallel.hpp"
+#include "grb/detail/sparse_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/semiring.hpp"
@@ -19,32 +27,30 @@ namespace detail {
 
 template <typename W, typename MonoidT, typename U>
 Vector<W> reduce_rows_compute(const MonoidT& monoid, const Matrix<U>& a) {
-  // One pass per row; rows with no entries produce no output entry
-  // (GraphBLAS reduce yields a sparse result).
-  std::vector<Index> oi;
-  std::vector<W> ov;
-  std::vector<unsigned char> nonempty(a.nrows(), 0);
-  std::vector<W> acc(a.nrows());
-  parallel_for(
-      a.nrows(),
-      [&](Index i) {
-        const auto av = a.row_vals(i);
-        if (av.empty()) return;
-        W s = static_cast<W>(av[0]);
-        for (std::size_t k = 1; k < av.size(); ++k) {
-          s = monoid(s, static_cast<W>(av[k]));
+  // Rows with no entries produce no output entry (GraphBLAS reduce yields a
+  // sparse result), so the symbolic count is just the nonempty-row count.
+  return build_sparse<W>(
+      a.nrows(), a.nrows(),
+      [&](Index lo, Index hi) {
+        Index cnt = 0;
+        for (Index i = lo; i < hi; ++i) cnt += a.row_degree(i) > 0 ? 1 : 0;
+        return cnt;
+      },
+      [&](Index lo, Index hi, std::span<Index> idx, std::span<W> val) {
+        std::size_t w = 0;
+        for (Index i = lo; i < hi; ++i) {
+          const auto av = a.row_vals(i);
+          if (av.empty()) continue;
+          W s = static_cast<W>(av[0]);
+          for (std::size_t k = 1; k < av.size(); ++k) {
+            s = monoid(s, static_cast<W>(av[k]));
+          }
+          idx[w] = i;
+          val[w] = s;
+          ++w;
         }
-        acc[i] = s;
-        nonempty[i] = 1;
       },
       a.nvals());
-  for (Index i = 0; i < a.nrows(); ++i) {
-    if (nonempty[i]) {
-      oi.push_back(i);
-      ov.push_back(acc[i]);
-    }
-  }
-  return Vector<W>::adopt_sorted(a.nrows(), std::move(oi), std::move(ov));
 }
 
 }  // namespace detail
@@ -71,30 +77,18 @@ namespace detail {
 
 template <typename W, typename MonoidT, typename U>
 Vector<W> reduce_cols_compute(const MonoidT& monoid, const Matrix<U>& a) {
-  std::vector<W> acc(a.ncols());
-  std::vector<unsigned char> hit(a.ncols(), 0);
-  for (Index i = 0; i < a.nrows(); ++i) {
-    const auto cols = a.row_cols(i);
-    const auto vals = a.row_vals(i);
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-      const Index j = cols[k];
-      if (hit[j]) {
-        acc[j] = monoid(acc[j], static_cast<W>(vals[k]));
-      } else {
-        acc[j] = static_cast<W>(vals[k]);
-        hit[j] = 1;
-      }
-    }
-  }
-  std::vector<Index> oi;
-  std::vector<W> ov;
-  for (Index j = 0; j < a.ncols(); ++j) {
-    if (hit[j]) {
-      oi.push_back(j);
-      ov.push_back(acc[j]);
-    }
-  }
-  return Vector<W>::adopt_sorted(a.ncols(), std::move(oi), std::move(ov));
+  // Column-direction scatter: rows stripe across per-thread accumulators
+  // when the work warrants it, exactly the vxm push engine.
+  return scatter_reduce<W>(
+      a.ncols(), a.nrows(),
+      [&](Index i, auto&& upd) {
+        const auto cols = a.row_cols(i);
+        const auto vals = a.row_vals(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          upd(cols[k], static_cast<W>(vals[k]));
+        }
+      },
+      [&](const W& x, const W& y) { return monoid(x, y); }, a.nvals());
 }
 
 }  // namespace detail
@@ -117,25 +111,38 @@ void reduce_cols(Vector<W>& w, const Vector<M>* mask, Accum accum,
   detail::write_back(w, mask, accum, desc, std::move(t));
 }
 
+namespace detail {
+
+/// Parallel tree reduction of a flat value span under a monoid: fixed-grid
+/// chunk partials folded in chunk order (deterministic at any thread count;
+/// see parallel_fold).
+template <typename S, typename MonoidT, typename U>
+[[nodiscard]] S reduce_values(const MonoidT& monoid, std::span<const U> vals) {
+  return parallel_fold<S>(
+      static_cast<Index>(vals.size()), static_cast<S>(monoid.identity),
+      [&](Index lo, Index hi) {
+        S s = static_cast<S>(vals[lo]);
+        for (Index k = lo + 1; k < hi; ++k) {
+          s = monoid(s, static_cast<S>(vals[k]));
+        }
+        return s;
+      },
+      [&](const S& x, const S& y) { return monoid(x, y); });
+}
+
+}  // namespace detail
+
 /// s = ⊕_{ij} A(i, j) — full reduction to scalar. Empty matrix yields the
 /// monoid identity.
 template <typename S, typename MonoidT, typename U>
 [[nodiscard]] S reduce_scalar(const MonoidT& monoid, const Matrix<U>& a) {
-  S s = static_cast<S>(monoid.identity);
-  for (const U& v : a.values()) {
-    s = monoid(s, static_cast<S>(v));
-  }
-  return s;
+  return detail::reduce_values<S>(monoid, a.values());
 }
 
 /// s = ⊕_i u(i).
 template <typename S, typename MonoidT, typename U>
 [[nodiscard]] S reduce_scalar(const MonoidT& monoid, const Vector<U>& u) {
-  S s = static_cast<S>(monoid.identity);
-  for (const U& v : u.values()) {
-    s = monoid(s, static_cast<S>(v));
-  }
-  return s;
+  return detail::reduce_values<S>(monoid, u.values());
 }
 
 }  // namespace grb

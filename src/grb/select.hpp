@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "grb/detail/csr_builder.hpp"
+#include "grb/detail/sparse_builder.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -17,17 +18,20 @@ namespace detail {
 
 template <typename Pred, typename U>
 Vector<U> select_compute(Pred pred, const Vector<U>& u) {
+  // Chunk-parallel filter over u's entry positions through the staged
+  // pipeline. Staged (not count/fill) so the user predicate runs exactly
+  // once per entry — a stateful or non-deterministic pred must not desync
+  // the passes (same contract as the matrix branch below).
   const auto ui = u.indices();
   const auto uv = u.values();
-  std::vector<Index> oi;
-  std::vector<U> ov;
-  for (std::size_t k = 0; k < ui.size(); ++k) {
-    if (pred(ui[k], Index{0}, uv[k])) {
-      oi.push_back(ui[k]);
-      ov.push_back(uv[k]);
-    }
-  }
-  return Vector<U>::adopt_sorted(u.size(), std::move(oi), std::move(ov));
+  return build_sparse_staged<U>(
+      u.size(), static_cast<Index>(ui.size()),
+      [&](Index lo, Index hi, auto&& emit) {
+        for (Index k = lo; k < hi; ++k) {
+          if (pred(ui[k], Index{0}, uv[k])) emit(ui[k], uv[k]);
+        }
+      },
+      static_cast<Index>(ui.size()));
 }
 
 template <typename Pred, typename U>

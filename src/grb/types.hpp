@@ -81,4 +81,15 @@ struct Descriptor {
 /// Tag for "no accumulator": plain C<M> = T write.
 struct NoAccum {};
 
+/// Whether adopt_csr / Vector::adopt_sorted verify the invariants of the
+/// adopted arrays (consistent sizes, sorted-unique coordinates, in-range
+/// indices). kDebug (the default) checks in debug builds only, so Release
+/// kernels skip the O(nnz) verify; tests pin invariant violations with
+/// kAlways.
+enum class CsrCheck {
+  kDebug,
+  kAlways,
+  kNever,
+};
+
 }  // namespace grb

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "grb/binary_ops.hpp"
+#include "grb/detail/parallel.hpp"
 #include "grb/types.hpp"
 
 namespace grb {
@@ -63,19 +65,24 @@ class Vector {
         v.val_.push_back(vals[k]);
       }
     }
+#ifndef NDEBUG
+    v.check_invariants();
+#endif
     return v;
   }
 
   /// Dense iota-style constructor used by FastSV: v(i) = f(i) for all i.
+  /// FastSV rebuilds the grandparent vector every iteration, so the fill
+  /// runs in parallel.
   template <typename F>
   static Vector dense(Index n, F&& f) {
     Vector v(n);
     v.ind_.resize(n);
     v.val_.resize(n);
-    for (Index i = 0; i < n; ++i) {
+    detail::parallel_for(n, [&](Index i) {
       v.ind_[i] = i;
       v.val_[i] = f(i);
-    }
+    });
     return v;
   }
 
@@ -174,14 +181,32 @@ class Vector {
     return a.size_ == b.size_ && a.ind_ == b.ind_ && a.val_ == b.val_;
   }
 
-  /// Internal: adopts pre-sorted coordinate arrays without checking. Kernels
-  /// use this to emit results they constructed in order.
+  /// Internal: adopts pre-sorted coordinate arrays produced by a kernel —
+  /// the Vector counterpart of Matrix::adopt_csr. Invariants (strictly
+  /// ascending in-range indices, matching array sizes) are the caller's
+  /// responsibility; `check` controls whether they are verified (default:
+  /// debug builds only, so the Release hot path skips the O(nvals) walk).
   static Vector adopt_sorted(Index n, std::vector<Index>&& idx,
-                             std::vector<T>&& vals) {
+                             std::vector<T>&& vals,
+                             CsrCheck check = CsrCheck::kDebug) {
     Vector v(n);
     v.ind_ = std::move(idx);
     v.val_ = std::move(vals);
+#ifdef NDEBUG
+    const bool verify = check == CsrCheck::kAlways;
+#else
+    const bool verify = check != CsrCheck::kNever;
+#endif
+    if (verify) v.check_invariants();
     return v;
+  }
+
+  void check_invariants() const {
+    detail::check(ind_.size() == val_.size(), "index/value size");
+    for (std::size_t k = 0; k < ind_.size(); ++k) {
+      detail::check(ind_[k] < size_, "index in range");
+      detail::check(k == 0 || ind_[k - 1] < ind_[k], "indices sorted/unique");
+    }
   }
 
  private:

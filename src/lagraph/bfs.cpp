@@ -1,5 +1,7 @@
 #include "lagraph/bfs.hpp"
 
+#include "grb/detail/parallel.hpp"
+
 namespace lagraph {
 
 using grb::Bool;
@@ -25,13 +27,13 @@ std::vector<Index> bfs_levels(const grb::Matrix<Bool>& adj, Index source) {
   not_visited.replace = true;
 
   for (Index depth = 1; frontier.nvals() > 0 && depth <= n; ++depth) {
-    // next<!visited,replace> = frontier ⊕.⊗ A
+    // next<!visited,replace> = frontier ⊕.⊗ A — the parallel push kernel.
     grb::Vector<Bool> next(n);
     grb::vxm(next, &visited, grb::NoAccum{}, sr, frontier, adj, not_visited);
     if (next.nvals() == 0) break;
-    for (const Index v : next.indices()) {
-      level[v] = depth;
-    }
+    const auto ni = next.indices();
+    grb::detail::parallel_for(static_cast<Index>(ni.size()),
+                              [&](Index k) { level[ni[k]] = depth; });
     // visited |= next
     grb::eWiseAdd(visited, grb::LOr<Bool>{}, visited, next);
     frontier = std::move(next);

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "grb/detail/parallel.hpp"
+
 namespace lagraph {
 
 using grb::Index;
@@ -48,21 +50,38 @@ std::vector<Index> cc_fastsv(const grb::Matrix<grb::Bool>& adj) {
         changed = true;
       }
     }
-    // Shortcutting: f[i] = min(f[i], gf[i]) — path halving.
-    for (Index i = 0; i < n; ++i) {
-      if (gf[i] < f[i]) {
-        f[i] = gf[i];
-        changed = true;
-      }
-    }
-    // Recompute grandparents; converged when gf is a fixed point.
-    for (Index i = 0; i < n; ++i) {
-      const Index next = f[f[i]];
-      if (next != gf[i]) {
-        gf[i] = next;
-        changed = true;
-      }
-    }
+    // Shortcutting: f[i] = min(f[i], gf[i]) — path halving. Each slot only
+    // touches its own f[i]/gf[i], so the sweep is parallel; the change flag
+    // folds over the fixed chunk grid.
+    changed |= grb::detail::parallel_fold<int>(
+        n, 0,
+        [&](Index lo, Index hi) {
+          int ch = 0;
+          for (Index i = lo; i < hi; ++i) {
+            if (gf[i] < f[i]) {
+              f[i] = gf[i];
+              ch = 1;
+            }
+          }
+          return ch;
+        },
+        [](int x, int y) { return x | y; }) != 0;
+    // Recompute grandparents; converged when gf is a fixed point. Reads f
+    // (stable here), writes only gf[i] — also a parallel sweep.
+    changed |= grb::detail::parallel_fold<int>(
+        n, 0,
+        [&](Index lo, Index hi) {
+          int ch = 0;
+          for (Index i = lo; i < hi; ++i) {
+            const Index next = f[f[i]];
+            if (next != gf[i]) {
+              gf[i] = next;
+              ch = 1;
+            }
+          }
+          return ch;
+        },
+        [](int x, int y) { return x | y; }) != 0;
   }
   return f;
 }

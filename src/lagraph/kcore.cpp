@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "grb/detail/parallel.hpp"
+
 namespace lagraph {
 
 using grb::Index;
@@ -12,12 +14,20 @@ std::vector<Index> kcore(const grb::Matrix<grb::Bool>& adj) {
   }
   const Index n = adj.nrows();
   // Matula-Beck bucket peeling: O(V + E) with bucketed vertices by degree.
+  // The peeling itself is inherently sequential; the degree scan — the only
+  // O(V)-wide phase — runs as a parallel max-fold over the fixed chunk grid.
   std::vector<Index> degree(n);
-  Index max_degree = 0;
-  for (Index i = 0; i < n; ++i) {
-    degree[i] = adj.row_degree(i);
-    max_degree = std::max(max_degree, degree[i]);
-  }
+  const Index max_degree = grb::detail::parallel_fold<Index>(
+      n, Index{0},
+      [&](Index lo, Index hi) {
+        Index m = 0;
+        for (Index i = lo; i < hi; ++i) {
+          degree[i] = adj.row_degree(i);
+          m = std::max(m, degree[i]);
+        }
+        return m;
+      },
+      [](Index x, Index y) { return std::max(x, y); });
   // bucket[d] holds vertices of current degree d; pos/vert are the usual
   // in-place bucket-sort bookkeeping.
   std::vector<Index> bucket_start(max_degree + 2, 0);

@@ -152,4 +152,49 @@ TEST_P(VectorBuildSweep, BuildFromReversedIndicesSortsCorrectly) {
 INSTANTIATE_TEST_SUITE_P(Sizes, VectorBuildSweep,
                          ::testing::Values(1, 2, 7, 64, 1000));
 
+// adopt_sorted is the Vector counterpart of Matrix::adopt_csr: kernels hand
+// it pre-sorted arrays, and the CsrCheck toggle controls whether the
+// sorted-unique/in-range invariants are verified (kDebug = debug builds
+// only; kAlways pins violations here in every build type).
+
+TEST(VectorAdoptSorted, AcceptsValidArraysWithAlwaysCheck) {
+  const auto v = Vector<U64>::adopt_sorted(6, {1, 3, 4}, {10, 30, 40},
+                                           grb::CsrCheck::kAlways);
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_EQ(v.at_or(3, 0), 30u);
+}
+
+TEST(VectorAdoptSorted, UnsortedIndicesThrow) {
+  EXPECT_THROW(Vector<U64>::adopt_sorted(6, {3, 1}, {30, 10},
+                                         grb::CsrCheck::kAlways),
+               grb::InvalidValue);
+}
+
+TEST(VectorAdoptSorted, DuplicateIndicesThrow) {
+  EXPECT_THROW(Vector<U64>::adopt_sorted(6, {2, 2}, {20, 21},
+                                         grb::CsrCheck::kAlways),
+               grb::InvalidValue);
+}
+
+TEST(VectorAdoptSorted, OutOfRangeIndexThrows) {
+  EXPECT_THROW(Vector<U64>::adopt_sorted(6, {1, 6}, {10, 60},
+                                         grb::CsrCheck::kAlways),
+               grb::InvalidValue);
+}
+
+TEST(VectorAdoptSorted, MismatchedArraySizesThrow) {
+  EXPECT_THROW(Vector<U64>::adopt_sorted(6, {1, 2}, {10},
+                                         grb::CsrCheck::kAlways),
+               grb::InvalidValue);
+}
+
+TEST(VectorAdoptSorted, NeverSkipsTheCheck) {
+  // kNever adopts without looking — the escape hatch for kernels that
+  // guarantee the invariants structurally. The arrays here are broken on
+  // purpose; only the metadata may be observed.
+  const auto v = Vector<U64>::adopt_sorted(6, {3, 1}, {30, 10},
+                                           grb::CsrCheck::kNever);
+  EXPECT_EQ(v.nvals(), 2u);
+}
+
 }  // namespace

@@ -1,0 +1,124 @@
+// Golden pins for the LAGraph algorithms on generated SF-1/SF-2 friendship
+// graphs (deterministic datagen seed 42): BFS level structure, connected-
+// component counts, PageRank top-10, and the k-core decomposition. Kernel
+// rewrites — the parallel vector pipeline in particular — must reproduce
+// these values bit for bit; a silent change in any algorithm's output fails
+// here even if the algorithm's property-based tests still hold.
+//
+// The pinned numbers were produced by this exact code path at the time the
+// test was written. PageRank's values are FP-order-sensitive by nature; the
+// implementation keeps its summation order fixed at every thread count
+// (fixed-grid parallel_fold + per-row scans), and default builds compile
+// without -march=native, so the doubles are reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "datagen/generator.hpp"
+#include "lagraph/bfs.hpp"
+#include "lagraph/cc_fastsv.hpp"
+#include "lagraph/kcore.hpp"
+#include "lagraph/pagerank.hpp"
+#include "queries/grb_state.hpp"
+
+namespace {
+
+using grb::Index;
+using U64 = std::uint64_t;
+
+struct Golden {
+  unsigned sf;
+  U64 users, friend_nnz;
+  U64 bfs_reached, bfs_level_sum, bfs_max_level;  // BFS from vertex 0
+  U64 cc_components, cc_largest, cc_sumsq;
+  unsigned pr_iterations;
+  std::vector<Index> pr_top10;  // rank desc, id asc tiebreak
+  U64 core_max, core_at_max, core_sum;
+};
+
+const Golden kGolden[] = {
+    {1, 267, 558,                      //
+     186, 454, 5,                      //
+     75, 186, 34693,                   //
+     68, {0, 2, 1, 3, 4, 5, 10, 34, 8, 24},  //
+     3, 31, 322},
+    {2, 434, 988,                      //
+     314, 704, 5,                      //
+     119, 314, 98720,                  //
+     51, {0, 1, 4, 2, 3, 5, 6, 22, 7, 37},   //
+     3, 50, 546},
+};
+
+class LagraphGolden : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(LagraphGolden, PinsAlgorithmResults) {
+  const Golden& g = GetParam();
+  const auto data = datagen::generate(datagen::params_for_scale(g.sf));
+  const auto state = queries::GrbState::from_graph(data.initial);
+  const auto& friends = state.friends();
+  const Index n = friends.nrows();
+  ASSERT_EQ(n, g.users);
+  ASSERT_EQ(friends.nvals(), g.friend_nnz);
+
+  // BFS from vertex 0 (the Zipf head, inside the giant component).
+  const auto level = lagraph::bfs_levels(friends, 0);
+  U64 reached = 0, level_sum = 0, max_level = 0;
+  for (const Index l : level) {
+    if (l == lagraph::kUnreachable) continue;
+    ++reached;
+    level_sum += l;
+    max_level = std::max<U64>(max_level, l);
+  }
+  EXPECT_EQ(reached, g.bfs_reached);
+  EXPECT_EQ(level_sum, g.bfs_level_sum);
+  EXPECT_EQ(max_level, g.bfs_max_level);
+
+  // Connected components via FastSV.
+  const auto labels = lagraph::cc_fastsv(friends);
+  const auto sizes = lagraph::component_sizes(labels);
+  U64 largest = 0;
+  for (const Index s : sizes) largest = std::max<U64>(largest, s);
+  EXPECT_EQ(sizes.size(), g.cc_components);
+  EXPECT_EQ(largest, g.cc_largest);
+  EXPECT_EQ(lagraph::sum_squared_component_sizes(labels), g.cc_sumsq);
+  // BFS's reach from vertex 0 must agree with the giant component.
+  EXPECT_EQ(reached, largest);
+
+  // PageRank top-10 (rank desc, id asc tiebreak) and iteration count.
+  const auto pr = lagraph::pagerank(friends, {});
+  EXPECT_EQ(pr.iterations, g.pr_iterations);
+  std::vector<Index> order(n);
+  for (Index i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    if (pr.rank[a] != pr.rank[b]) return pr.rank[a] > pr.rank[b];
+    return a < b;
+  });
+  order.resize(10);
+  EXPECT_EQ(order, g.pr_top10);
+
+  // k-core decomposition.
+  const auto core = lagraph::kcore(friends);
+  U64 core_sum = 0, core_max = 0, at_max = 0;
+  for (const Index c : core) {
+    core_sum += c;
+    if (c > core_max) {
+      core_max = c;
+      at_max = 0;
+    }
+    if (c == core_max) ++at_max;
+  }
+  EXPECT_EQ(core_max, g.core_max);
+  EXPECT_EQ(at_max, g.core_at_max);
+  EXPECT_EQ(core_sum, g.core_sum);
+  EXPECT_EQ(core_max, lagraph::max_coreness(friends));
+}
+
+INSTANTIATE_TEST_SUITE_P(ScaleFactors, LagraphGolden,
+                         ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           return "SF" + std::to_string(info.param.sf);
+                         });
+
+}  // namespace
