@@ -6,7 +6,11 @@
 // The *SF benchmarks size their operands from the Table II scale-factor
 // specs (nodes × nodes, edges nonzeros), so mxm / eWiseAdd / write_back
 // throughput can be tracked before/after kernel-pipeline changes at
-// SF ≥ 256. CI uploads the JSON output as a perf-trajectory artifact.
+// SF ≥ 256 — and, via the Table-II extrapolation, at SF 2048 beyond the
+// contest's largest dataset. CI uploads the JSON output as a
+// perf-trajectory artifact; repeated-call benches attach the workspace
+// arena's counters (leases/misses per iteration, hit rate) so the JSON
+// also tracks whether the steady state stays allocation-free.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -22,6 +26,30 @@ using grb::Index;
 using grb::Matrix;
 using grb::Vector;
 using U64 = std::uint64_t;
+
+/// Captures workspace-arena counters at construction; report() attaches the
+/// delta to the benchmark as per-iteration counters plus the overall hit
+/// rate. Steady-state benches should show arena_miss ≈ 0 after the first
+/// (warm-up) iterations.
+class ArenaCounters {
+ public:
+  ArenaCounters() : start_(grb::workspace_stats()) {}
+
+  void report(benchmark::State& state) const {
+    const auto now = grb::workspace_stats();
+    const auto leases = static_cast<double>(now.leases() - start_.leases());
+    const auto misses = static_cast<double>(now.misses - start_.misses);
+    state.counters["arena_lease"] =
+        benchmark::Counter(leases, benchmark::Counter::kAvgIterations);
+    state.counters["arena_miss"] =
+        benchmark::Counter(misses, benchmark::Counter::kAvgIterations);
+    state.counters["arena_hit_rate"] =
+        leases > 0 ? (leases - misses) / leases : 1.0;
+  }
+
+ private:
+  grb::WorkspaceStats start_;
+};
 
 /// Heavy-tailed random boolean matrix: column popularity is Zipf-like, the
 /// same shape as the Likes / Friends matrices.
@@ -46,11 +74,14 @@ void BM_Mxv(benchmark::State& state) {
   grb::ThreadGuard guard(static_cast<int>(state.range(0)));
   const auto a = social_matrix(kRows, kCols, kNnz, 1);
   const auto u = Vector<U64>::dense(kCols, [](Index i) { return i % 7 + 1; });
+  const ArenaCounters arena;
   for (auto _ : state) {
     Vector<U64> w(kRows);
     grb::mxv(w, grb::plus_second_semiring<U64>(), a, u);
     benchmark::DoNotOptimize(w);
+    grb::recycle(std::move(w));
   }
+  arena.report(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kNnz));
 }
@@ -68,11 +99,14 @@ void BM_MxvPush(benchmark::State& state) {
     fv.push_back(Bool{1});
   }
   const auto frontier = Vector<Bool>::build(kRows, fi, fv);
+  const ArenaCounters arena;
   for (auto _ : state) {
     Vector<Bool> w(kCols);
     grb::vxm(w, grb::lor_land_semiring<Bool>(), frontier, a);
     benchmark::DoNotOptimize(w);
+    grb::recycle(std::move(w));
   }
+  arena.report(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kNnz / 16));
 }
@@ -83,11 +117,14 @@ void BM_Mxm(benchmark::State& state) {
   // Likes' x NewFriends shape: tall-skinny right operand.
   const auto likes = social_matrix(kRows, kCols, kNnz, 2);
   const auto nf = social_matrix(kCols, 128, 256, 3);
+  const ArenaCounters arena;
   for (auto _ : state) {
     Matrix<U64> c(kRows, 128);
     grb::mxm(c, grb::plus_times_semiring<U64>(), likes, nf);
     benchmark::DoNotOptimize(c);
+    grb::recycle(std::move(c));
   }
+  arena.report(state);
 }
 BENCHMARK(BM_Mxm)->Arg(1)->Arg(8);
 
@@ -105,11 +142,14 @@ BENCHMARK(BM_MxmSquare)->Arg(1)->Arg(8);
 void BM_ReduceRows(benchmark::State& state) {
   grb::ThreadGuard guard(static_cast<int>(state.range(0)));
   const auto a = social_matrix(kRows, kCols, kNnz, 5);
+  const ArenaCounters arena;
   for (auto _ : state) {
     Vector<U64> w(kRows);
     grb::reduce_rows(w, grb::plus_monoid<U64>(), a);
     benchmark::DoNotOptimize(w);
+    grb::recycle(std::move(w));
   }
+  arena.report(state);
 }
 BENCHMARK(BM_ReduceRows)->Arg(1)->Arg(8);
 
@@ -268,19 +308,26 @@ void BM_MxvPullSF(benchmark::State& state) {
   const auto a = sf_matrix(sf, 25);
   const auto u =
       Vector<U64>::dense(a.ncols(), [](Index i) { return i % 7 + 1; });
+  const ArenaCounters arena;
   for (auto _ : state) {
     Vector<U64> w(a.nrows());
     grb::mxv(w, grb::min_second_semiring<U64>(), a, u);
     benchmark::DoNotOptimize(w);
+    grb::recycle(std::move(w));
   }
+  arena.report(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(a.nvals()));
 }
+// SF 2048 exercises the Table-II power-law extrapolation beyond the
+// contest's largest dataset (ROADMAP "scaling workload beyond Table II").
 BENCHMARK(BM_MxvPullSF)
     ->Args({256, 1})
     ->Args({256, 8})
     ->Args({512, 1})
-    ->Args({512, 8});
+    ->Args({512, 8})
+    ->Args({2048, 1})
+    ->Args({2048, 8});
 
 void BM_MxvPushSF(benchmark::State& state) {
   // BFS frontier push at paper scale: ~1/16 of the vertices expand through
@@ -295,11 +342,14 @@ void BM_MxvPushSF(benchmark::State& state) {
     fv.push_back(Bool{1});
   }
   const auto frontier = Vector<Bool>::build(a.nrows(), fi, fv);
+  const ArenaCounters arena;
   for (auto _ : state) {
     Vector<Bool> w(a.ncols());
     grb::vxm(w, grb::lor_land_semiring<Bool>(), frontier, a);
     benchmark::DoNotOptimize(w);
+    grb::recycle(std::move(w));
   }
+  arena.report(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(a.nvals() / 16));
 }
@@ -307,7 +357,9 @@ BENCHMARK(BM_MxvPushSF)
     ->Args({256, 1})
     ->Args({256, 8})
     ->Args({512, 1})
-    ->Args({512, 8});
+    ->Args({512, 8})
+    ->Args({2048, 1})
+    ->Args({2048, 8});
 
 void BM_ReduceRowsSF(benchmark::State& state) {
   // Alg. 1 line 6 at paper scale: row-wise plus-reduction through the
@@ -315,11 +367,14 @@ void BM_ReduceRowsSF(benchmark::State& state) {
   const auto sf = static_cast<unsigned>(state.range(0));
   grb::ThreadGuard guard(static_cast<int>(state.range(1)));
   const auto a = sf_matrix(sf, 27);
+  const ArenaCounters arena;
   for (auto _ : state) {
     Vector<U64> w(a.nrows());
     grb::reduce_rows(w, grb::plus_monoid<U64>(), a);
     benchmark::DoNotOptimize(w);
+    grb::recycle(std::move(w));
   }
+  arena.report(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(a.nvals()));
 }
@@ -327,7 +382,9 @@ BENCHMARK(BM_ReduceRowsSF)
     ->Args({256, 1})
     ->Args({256, 8})
     ->Args({512, 1})
-    ->Args({512, 8});
+    ->Args({512, 8})
+    ->Args({2048, 1})
+    ->Args({2048, 8});
 
 void BM_InsertTuplesBatch(benchmark::State& state) {
   const auto base = social_matrix(kRows, kCols, kNnz, 10);

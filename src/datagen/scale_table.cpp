@@ -1,5 +1,6 @@
 #include "datagen/scale_table.hpp"
 
+#include <cmath>
 #include <string>
 
 #include "grb/types.hpp"
@@ -20,10 +21,84 @@ const std::vector<ScaleSpec>& scale_table() {
   return kTable;
 }
 
+namespace {
+
+/// Least-squares power-law fit y ≈ c · sf^p over all eleven Table II rows
+/// (log-log linear regression). Used to extrapolate the table beyond the
+/// contest's largest dataset: node and edge counts track the scale factor
+/// almost perfectly (p ≈ 0.94 and 0.99), which is exactly the shape the
+/// LDBC generator promises.
+struct PowerFit {
+  double c = 0.0;
+  double p = 0.0;
+
+  [[nodiscard]] std::size_t at(unsigned sf) const {
+    return static_cast<std::size_t>(
+        std::llround(c * std::pow(static_cast<double>(sf), p)));
+  }
+};
+
+/// Shared predicate for the extrapolation domain: powers of two strictly
+/// above the last tabled row, up to kMaxScaleFactor.
+bool in_extrapolation_range(unsigned scale_factor) noexcept {
+  const unsigned max_tabled = scale_table().back().scale_factor;
+  const bool power_of_two =
+      scale_factor != 0 && (scale_factor & (scale_factor - 1)) == 0;
+  return power_of_two && scale_factor > max_tabled &&
+         scale_factor <= kMaxScaleFactor;
+}
+
+PowerFit fit_power_law(std::size_t ScaleSpec::* field) {
+  const auto& table = scale_table();
+  const double n = static_cast<double>(table.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (const ScaleSpec& s : table) {
+    const double x = std::log(static_cast<double>(s.scale_factor));
+    const double y = std::log(static_cast<double>(s.*field));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double p = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double c = std::exp((sy - p * sx) / n);
+  return {c, p};
+}
+
+}  // namespace
+
+bool is_extrapolated(unsigned scale_factor) noexcept {
+  // Tabled rows all sit at or below the last row, so the range predicate
+  // alone separates "transcribed" from "extrapolated".
+  return in_extrapolation_range(scale_factor);
+}
+
+ScaleSpec extrapolated_spec(unsigned scale_factor) {
+  if (!in_extrapolation_range(scale_factor)) {
+    throw grb::InvalidValue(
+        "extrapolated_spec: scale factor " + std::to_string(scale_factor) +
+        " must be a power of two in (" +
+        std::to_string(scale_table().back().scale_factor) + ", " +
+        std::to_string(kMaxScaleFactor) + "]");
+  }
+  static const PowerFit node_fit = fit_power_law(&ScaleSpec::nodes);
+  static const PowerFit edge_fit = fit_power_law(&ScaleSpec::edges);
+  // The insert column does not scale with sf (the contest replays a
+  // similarly sized change sequence at every scale); use the table mean.
+  static const std::size_t insert_mean = [] {
+    std::size_t sum = 0;
+    for (const ScaleSpec& s : scale_table()) sum += s.inserts;
+    return sum / scale_table().size();
+  }();
+  return {scale_factor, node_fit.at(scale_factor), edge_fit.at(scale_factor),
+          insert_mean};
+}
+
 ScaleSpec spec_for(unsigned scale_factor) {
   for (const ScaleSpec& s : scale_table()) {
     if (s.scale_factor == scale_factor) return s;
   }
+  if (is_extrapolated(scale_factor)) return extrapolated_spec(scale_factor);
   throw grb::InvalidValue("no Table II row for scale factor " +
                           std::to_string(scale_factor));
 }

@@ -22,8 +22,23 @@ struct ScaleSpec {
 /// The eleven rows of Table II (scale factors 1..1024).
 const std::vector<ScaleSpec>& scale_table();
 
-/// Spec for one scale factor; throws grb::InvalidValue if sf is not a row
-/// of Table II (powers of two, 1..1024).
+/// Largest scale factor spec_for will extrapolate to beyond Table II.
+inline constexpr unsigned kMaxScaleFactor = 65536;
+
+/// Spec for one scale factor. Scale factors in Table II (powers of two,
+/// 1..1024) return the transcribed row; larger powers of two up to
+/// kMaxScaleFactor return a Table-II-style extrapolation (power-law fit of
+/// the node/edge columns over all eleven rows, table-mean insert count).
+/// Anything else throws grb::InvalidValue.
 ScaleSpec spec_for(unsigned scale_factor);
+
+/// The extrapolation itself (power-of-two sf in (1024, kMaxScaleFactor]);
+/// throws grb::InvalidValue outside that range.
+ScaleSpec extrapolated_spec(unsigned scale_factor);
+
+/// True when spec_for(scale_factor) would extrapolate rather than read a
+/// transcribed Table II row; false for tabled rows and for scale factors
+/// spec_for rejects.
+bool is_extrapolated(unsigned scale_factor) noexcept;
 
 }  // namespace datagen

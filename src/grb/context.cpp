@@ -31,4 +31,21 @@ ThreadGuard::ThreadGuard(int n) noexcept : saved_(g_threads.load()) {
 
 ThreadGuard::~ThreadGuard() { g_threads.store(saved_); }
 
+Context& Context::instance() noexcept {
+  static Context ctx;
+  return ctx;
+}
+
+WorkspaceStats workspace_stats() { return Context::instance().workspace_stats(); }
+
+void reset_workspace_stats() { Context::instance().reset_workspace_stats(); }
+
+std::size_t trim_workspace() { return Context::instance().trim_workspace(); }
+
+namespace detail {
+
+Workspace& workspace() noexcept { return Context::instance().workspace(); }
+
+}  // namespace detail
+
 }  // namespace grb

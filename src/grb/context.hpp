@@ -1,8 +1,14 @@
 // Global execution context: controls the number of OpenMP threads the grb
-// kernels may use (GxB_set(GxB_NTHREADS, ...) equivalent). The paper
-// compares 1-thread and 8-thread configurations of the same binary; the
-// benchmark harness flips this knob between runs.
+// kernels may use (GxB_set(GxB_NTHREADS, ...) equivalent) and owns the
+// workspace arena that kernels lease their scratch and output storage from.
+// The paper compares 1-thread and 8-thread configurations of the same
+// binary; the benchmark harness flips the thread knob between runs, and the
+// arena keeps the per-change-set incremental loop off the system allocator.
 #pragma once
+
+#include <cstddef>
+
+#include "grb/detail/workspace.hpp"
 
 namespace grb {
 
@@ -31,5 +37,43 @@ class ThreadGuard {
  private:
   int saved_;
 };
+
+/// Process-wide execution context. Owns the workspace arena; thread-cap
+/// state stays in the free functions above (they predate the class and are
+/// kept for API stability — Context::threads() forwards to them).
+class Context {
+ public:
+  /// The singleton. Construction is lazy and thread-safe; the arena lives
+  /// as long as the process, so leases taken anywhere always have a home.
+  [[nodiscard]] static Context& instance() noexcept;
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] detail::Workspace& workspace() noexcept { return workspace_; }
+
+  /// Snapshot of the arena counters/gauges (hits, misses, bytes leased,
+  /// cached bytes). Benches read this to prove steady-state allocation
+  /// drops to ~zero on the Fig. 5 loop.
+  [[nodiscard]] WorkspaceStats workspace_stats() const {
+    return workspace_.stats();
+  }
+  void reset_workspace_stats() { workspace_.reset_stats(); }
+
+  /// Frees all cached arena buffers; returns bytes released.
+  std::size_t trim_workspace() { return workspace_.trim(); }
+
+  [[nodiscard]] int threads() const noexcept { return grb::threads(); }
+
+ private:
+  Context() = default;
+
+  detail::Workspace workspace_;
+};
+
+/// Convenience forwarders for Context::instance().
+[[nodiscard]] WorkspaceStats workspace_stats();
+void reset_workspace_stats();
+std::size_t trim_workspace();
 
 }  // namespace grb

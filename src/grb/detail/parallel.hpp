@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "grb/context.hpp"
+#include "grb/detail/workspace.hpp"
 #include "grb/types.hpp"
 
 namespace grb::detail {
@@ -101,7 +102,9 @@ S parallel_fold(Index n, S init, ChunkF&& chunk_fold, JoinF&& join) {
   if (n == 0) return init;
   const Index nchunks = (n + kFoldChunk - 1) / kFoldChunk;
   if (nchunks == 1) return join(init, chunk_fold(Index{0}, n));
-  std::vector<S> partial(nchunks);
+  auto partial_lease = workspace().lease<S>(nchunks);
+  auto& partial = *partial_lease;
+  partial.resize(nchunks);
   parallel_for(
       nchunks,
       [&](Index c) {
@@ -132,7 +135,10 @@ inline Index parallel_scan(std::span<Index> rowptr) {
   // Two-phase chunk scan: each thread sums its contiguous chunk, one thread
   // scans the chunk totals, then each thread rescans its chunk shifted by
   // the chunk offset. Barriers separate the phases.
-  std::vector<Index> chunk_sum(static_cast<std::size_t>(nthreads) + 1, 0);
+  auto chunk_sum_lease =
+      workspace().lease<Index>(static_cast<std::size_t>(nthreads) + 1);
+  auto& chunk_sum = *chunk_sum_lease;
+  chunk_sum.assign(static_cast<std::size_t>(nthreads) + 1, 0);
   parallel_region([&](int tid, int nt) {
     const Index chunk = (n + static_cast<Index>(nt) - 1) / static_cast<Index>(nt);
     const Index lo = std::min<Index>(n, chunk * static_cast<Index>(tid));

@@ -1,0 +1,390 @@
+// Context-owned workspace arena: size-bucketed, thread-team-aware buffer
+// pools that let every kernel acquire its dense scratch, per-thread staging
+// vectors and output storage without touching the system allocator on the
+// steady state. The paper's headline loop (Fig. 5) re-runs the same kernels
+// on near-identical operand shapes once per change set; SuiteSparse:GraphBLAS
+// amortises exactly this malloc/page-fault tax with cached internal
+// workspaces, and this arena plays the same role here.
+//
+// Design:
+//   * Buffers are std::vector<T>s kept in power-of-two capacity classes
+//     (size buckets). A lease request of n elements is served by any cached
+//     buffer of the request's class or the next two classes up, so a buffer
+//     is never wasted on a request orders of magnitude smaller.
+//   * The pool is sharded by thread: each OS thread leases from and donates
+//     to its own shard (one uncontended mutex), so per-thread scratch
+//     acquired inside OpenMP regions (mxm SPAs, staged builders) never
+//     serialises on a global lock. The OpenMP runtime reuses its thread
+//     pool across parallel regions, so shards stay warm across kernel
+//     calls. On a local miss the other shards are probed (work-stealing)
+//     before new memory is allocated — only a pool-wide miss allocates.
+//   * Lease<T> is an RAII handle: the buffer returns to the pool when the
+//     lease dies. detach() severs the pool link and hands the vector out,
+//     which is how builders transfer finished CSR arrays into a Matrix;
+//     grb::recycle(std::move(m)) donates them back when the object retires,
+//     closing the capacity-reuse cycle.
+//   * TeamLease<T> bundles one buffer per thread of a team (per-thread
+//     accumulators, staging buffers), acquired before the parallel region
+//     so the region itself stays lock-free.
+//
+// Acquired buffers always arrive clear()ed (size 0, capacity >= request);
+// kernels reinitialise them exactly as they would a fresh vector (resize
+// zero-fills, assign overwrites), so recycled memory can never leak stale
+// values into results and the parallel-equivalence guarantees are
+// unaffected by the arena.
+#pragma once
+
+#ifdef GRB_WORKSPACE_TRACE_MISSES
+#include <cstdio>
+#include <typeinfo>
+#ifdef GRB_WORKSPACE_TRACE_BACKTRACE
+#include <execinfo.h>
+#endif
+#endif
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "grb/types.hpp"
+
+namespace grb {
+
+/// Arena instrumentation, exposed via Context::workspace_stats(). Counters
+/// accumulate since the last reset; gauges describe the pool right now.
+struct WorkspaceStats {
+  // Counters.
+  std::uint64_t hits = 0;        ///< leases served from the caller's shard
+  std::uint64_t steals = 0;      ///< leases served from another shard
+  std::uint64_t misses = 0;      ///< leases that had to allocate fresh memory
+  std::uint64_t bytes_leased = 0;  ///< total requested bytes across leases
+  std::uint64_t donations = 0;   ///< buffers returned/donated to the pool
+  std::uint64_t drops = 0;       ///< donations rejected (bucket full / tiny)
+  // Gauges.
+  std::uint64_t buffers_cached = 0;
+  std::uint64_t bytes_cached = 0;
+
+  [[nodiscard]] std::uint64_t leases() const noexcept {
+    return hits + steals + misses;
+  }
+};
+
+namespace detail {
+
+class Workspace;
+
+/// RAII handle on a pooled buffer. Move-only; returns the buffer to the
+/// workspace on destruction unless detach()ed.
+template <typename T>
+class Lease {
+ public:
+  Lease() = default;
+  Lease(Workspace* ws, std::vector<T>&& buf) noexcept
+      : ws_(ws), buf_(std::move(buf)) {}
+  Lease(Lease&& o) noexcept : ws_(o.ws_), buf_(std::move(o.buf_)) {
+    o.ws_ = nullptr;
+  }
+  Lease& operator=(Lease&& o) noexcept {
+    if (this != &o) {
+      release();
+      ws_ = o.ws_;
+      buf_ = std::move(o.buf_);
+      o.ws_ = nullptr;
+    }
+    return *this;
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  ~Lease() { release(); }
+
+  [[nodiscard]] std::vector<T>& get() noexcept { return buf_; }
+  [[nodiscard]] const std::vector<T>& get() const noexcept { return buf_; }
+  std::vector<T>& operator*() noexcept { return buf_; }
+  const std::vector<T>& operator*() const noexcept { return buf_; }
+  std::vector<T>* operator->() noexcept { return &buf_; }
+  const std::vector<T>* operator->() const noexcept { return &buf_; }
+
+  /// Hands the buffer out of the arena (ownership moves to the caller; the
+  /// lease becomes empty and returns nothing on destruction). Containers
+  /// built from detached buffers re-enter the pool via grb::recycle().
+  [[nodiscard]] std::vector<T> detach() noexcept {
+    ws_ = nullptr;
+    return std::move(buf_);
+  }
+
+ private:
+  void release();  // defined after Workspace
+
+  Workspace* ws_ = nullptr;
+  std::vector<T> buf_;
+};
+
+/// One pooled buffer per thread of a team, acquired up front so parallel
+/// regions stay lock-free. buf(tid) is thread tid's buffer.
+template <typename T>
+class TeamLease {
+ public:
+  TeamLease() = default;
+  explicit TeamLease(std::vector<Lease<T>>&& parts) noexcept
+      : parts_(std::move(parts)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return parts_.size(); }
+  [[nodiscard]] std::vector<T>& buf(std::size_t i) noexcept {
+    return *parts_[i];
+  }
+
+ private:
+  std::vector<Lease<T>> parts_;
+};
+
+class Workspace {
+ public:
+  /// Smallest element count worth pooling (donations below it are dropped).
+  /// Callers that keep storage across moves — where a replaced buffer frees
+  /// silently rather than recycling — should stay on plain allocation under
+  /// this size so pool-origin buffers cannot leak out of the arena.
+  static constexpr std::size_t kMinBuffer = 64;
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Acquires a buffer with capacity >= n elements, cleared. Prefers a
+  /// close-fitting buffer from the calling thread's shard, then from the
+  /// other shards (work-stealing); if no close fit exists anywhere, any
+  /// larger cached buffer is taken (buffers migrate to higher classes as
+  /// they grow through push_back, so without this fallback the small
+  /// classes would drain permanently). Only a pool-wide miss allocates.
+  template <typename T>
+  [[nodiscard]] Lease<T> lease(std::size_t n) {
+    const int cls = size_class(n);
+    const std::size_t home = current_shard();
+    for (const bool any_fit : {false, true}) {
+      for (std::size_t probe = 0; probe < kShards; ++probe) {
+        const std::size_t s = (home + probe) % kShards;
+        if (auto buf = try_acquire<T>(shards_[s], cls, any_fit)) {
+          (probe == 0 ? hits_ : steals_)
+              .fetch_add(1, std::memory_order_relaxed);
+          bytes_leased_.fetch_add(n * sizeof(T), std::memory_order_relaxed);
+          return Lease<T>(this, std::move(*buf));
+        }
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    bytes_leased_.fetch_add(n * sizeof(T), std::memory_order_relaxed);
+#ifdef GRB_WORKSPACE_TRACE_MISSES
+    // Miss forensics for arena regressions: every steady-state miss means
+    // some container with pool-origin storage retired without grb::recycle.
+    std::fprintf(stderr, "[workspace miss] type=%s n=%zu class=%d\n",
+                 typeid(T).name(), n, cls);
+#ifdef GRB_WORKSPACE_TRACE_BACKTRACE
+    {
+      void* fr[10];
+      backtrace_symbols_fd(fr, backtrace(fr, 10), 2);
+    }
+#endif
+#endif
+    std::vector<T> fresh;
+    fresh.reserve(std::size_t{1} << cls);
+    return Lease<T>(this, std::move(fresh));
+  }
+
+  /// Acquires `team` buffers of capacity >= n each (per-thread scratch for a
+  /// thread team). Re-leasing with a different team size reuses whatever the
+  /// previous team donated and tops up the difference.
+  template <typename T>
+  [[nodiscard]] TeamLease<T> lease_team(std::size_t team, std::size_t n) {
+    std::vector<Lease<T>> parts;
+    parts.reserve(team);
+    for (std::size_t t = 0; t < team; ++t) parts.push_back(lease<T>(n));
+    return TeamLease<T>(std::move(parts));
+  }
+
+  /// Donates a buffer's capacity to the pool (the storage-recycling entry
+  /// point: finished leases land here automatically, retired Matrix/Vector
+  /// storage via grb::recycle). Tiny buffers and full buckets are dropped.
+  template <typename T>
+  void donate(std::vector<T>&& buf) {
+    const std::size_t cap = buf.capacity();
+    if (cap < (std::size_t{1} << kMinClass)) {
+      if (cap != 0) drops_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buf.clear();
+    const int cls = floor_class(cap);
+    Shard& sh = shards_[current_shard()];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto& bucket = pool_of<T>(sh).bucket[static_cast<std::size_t>(cls)];
+    if (bucket.size() >= kMaxPerBucket ||
+        sh.bytes_cached + cap * sizeof(T) > kMaxBytesPerShard) {
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      return;  // buf frees on scope exit
+    }
+    sh.buffers_cached += 1;
+    sh.bytes_cached += cap * sizeof(T);
+    bucket.push_back(std::move(buf));
+    donations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] WorkspaceStats stats() const {
+    WorkspaceStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.bytes_leased = bytes_leased_.load(std::memory_order_relaxed);
+    s.donations = donations_.load(std::memory_order_relaxed);
+    s.drops = drops_.load(std::memory_order_relaxed);
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      s.buffers_cached += sh.buffers_cached;
+      s.bytes_cached += sh.bytes_cached;
+    }
+    return s;
+  }
+
+  /// Zeroes the counters (hits/steals/misses/bytes/donations/drops); the
+  /// cached-buffer gauges keep describing the live pool.
+  void reset_stats() {
+    hits_.store(0, std::memory_order_relaxed);
+    steals_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    bytes_leased_.store(0, std::memory_order_relaxed);
+    donations_.store(0, std::memory_order_relaxed);
+    drops_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Frees every cached buffer (outstanding leases are unaffected). Returns
+  /// the number of bytes released back to the system.
+  std::size_t trim() {
+    std::size_t freed = 0;
+    for (Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      for (auto& [type, pool] : sh.pools) {
+        pool->trim();
+      }
+      freed += sh.bytes_cached;
+      sh.bytes_cached = 0;
+      sh.buffers_cached = 0;
+    }
+    return freed;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  static constexpr int kNumClasses = 44;
+  /// Smallest pooled capacity class: 2^6 = kMinBuffer elements. Requests
+  /// round up to it; smaller donations are not worth tracking.
+  static constexpr int kMinClass = 6;
+  static_assert(std::size_t{1} << kMinClass == kMinBuffer);
+  static constexpr std::size_t kMaxPerBucket = 256;
+  /// Safety valve against unbounded cache growth in long-lived processes
+  /// working through successively larger graphs: donations that would push
+  /// a shard past this are dropped. Far above the working set of the
+  /// bench/test workloads (tens of MiB at SF 512), so the zero-miss gates
+  /// never see it; trim_workspace() reclaims everything on demand.
+  static constexpr std::size_t kMaxBytesPerShard = std::size_t{512} << 20;
+
+  struct PoolBase {
+    virtual ~PoolBase() = default;
+    virtual void trim() = 0;
+  };
+
+  template <typename T>
+  struct Pool final : PoolBase {
+    // bucket[c] holds buffers with capacity in [2^c, 2^(c+1)), so every
+    // buffer in bucket c satisfies any request of class <= c.
+    std::array<std::vector<std::vector<T>>, kNumClasses> bucket;
+    void trim() override {
+      for (auto& b : bucket) {
+        b.clear();
+        b.shrink_to_fit();
+      }
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::type_index, std::unique_ptr<PoolBase>> pools;
+    std::size_t buffers_cached = 0;
+    std::size_t bytes_cached = 0;
+  };
+
+  /// Smallest class c with 2^c >= max(n, 2^kMinClass).
+  static int size_class(std::size_t n) noexcept {
+    const int c = n <= 1 ? 0 : static_cast<int>(std::bit_width(n - 1));
+    return c < kMinClass ? kMinClass
+                         : (c >= kNumClasses ? kNumClasses - 1 : c);
+  }
+
+  /// Largest class c with 2^c <= cap (the bucket a donated buffer lands in).
+  static int floor_class(std::size_t cap) noexcept {
+    const int c = static_cast<int>(std::bit_width(cap)) - 1;
+    return c >= kNumClasses ? kNumClasses - 1 : c;
+  }
+
+  static std::size_t current_shard() noexcept {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  }
+
+  template <typename T>
+  Pool<T>& pool_of(Shard& sh) {  // sh.mu must be held
+    auto& slot = sh.pools[std::type_index(typeid(T))];
+    if (!slot) slot = std::make_unique<Pool<T>>();
+    return static_cast<Pool<T>&>(*slot);
+  }
+
+  /// Pops a buffer of class cls (close fit: up to two classes larger;
+  /// any_fit: smallest available of any larger class) from one shard;
+  /// nullopt when the shard has nothing suitable.
+  template <typename T>
+  std::optional<std::vector<T>> try_acquire(Shard& sh, int cls, bool any_fit) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.pools.find(std::type_index(typeid(T)));
+    if (it == sh.pools.end()) return std::nullopt;
+    auto& pool = static_cast<Pool<T>&>(*it->second);
+    const int hi =
+        any_fit ? kNumClasses : (cls + 3 > kNumClasses ? kNumClasses : cls + 3);
+    for (int c = cls; c < hi; ++c) {
+      auto& bucket = pool.bucket[static_cast<std::size_t>(c)];
+      if (bucket.empty()) continue;
+      std::vector<T> buf = std::move(bucket.back());
+      bucket.pop_back();
+      sh.buffers_cached -= 1;
+      sh.bytes_cached -= buf.capacity() * sizeof(T);
+      return buf;
+    }
+    return std::nullopt;
+  }
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> bytes_leased_{0};
+  std::atomic<std::uint64_t> donations_{0};
+  std::atomic<std::uint64_t> drops_{0};
+};
+
+template <typename T>
+void Lease<T>::release() {
+  if (ws_ != nullptr) {
+    ws_->donate(std::move(buf_));
+    ws_ = nullptr;
+  }
+}
+
+/// The process-wide arena owned by grb::Context (defined in context.cpp).
+[[nodiscard]] Workspace& workspace() noexcept;
+
+}  // namespace detail
+}  // namespace grb

@@ -68,9 +68,12 @@ void write_back(Vector<CT>& c, const Vector<MT>* mask, Accum accum,
     throw DimensionMismatch("mask size " + std::to_string(mask->size()) +
                             " vs output size " + std::to_string(c.size()));
   }
-  // Fast path: unmasked, no accumulator — C = T.
+  // Fast path: unmasked, no accumulator — C = T. The replaced output's
+  // storage is donated to the arena first, so loop-carried outputs cycle
+  // their capacity through the workspace instead of freeing it.
   if (mask == nullptr && !desc.complement_mask && !has_accum_v<Accum>) {
     if constexpr (std::is_same_v<CT, TT>) {
+      recycle(std::move(c));
       c = std::move(t);
       return;
     }
@@ -130,8 +133,14 @@ void write_back(Vector<CT>& c, const Vector<MT>* mask, Accum accum,
       }
     }
   };
-  c = build_sparse_staged<CT>(c.size(), c.size(), merge_range,
-                              static_cast<Index>(ci.size() + ti.size()));
+  auto merged = build_sparse_staged<CT>(
+      c.size(), c.size(), merge_range,
+      static_cast<Index>(ci.size() + ti.size()));
+  // The merge is complete; retire the old output and the consumed
+  // intermediate into the arena before installing the result.
+  recycle(std::move(t));
+  recycle(std::move(c));
+  c = std::move(merged);
 }
 
 /// C<M> (+)= T for matrices: a row-parallel merge of C, M, and T through
@@ -156,6 +165,7 @@ void write_back(Matrix<CT>& c, const Matrix<MT>* mask, Accum accum,
   }
   if (mask == nullptr && !desc.complement_mask && !has_accum_v<Accum>) {
     if constexpr (std::is_same_v<CT, TT>) {
+      recycle(std::move(c));
       c = std::move(t);
       return;
     }
@@ -218,8 +228,11 @@ void write_back(Matrix<CT>& c, const Matrix<MT>* mask, Accum accum,
   };
   // Output pattern ⊆ pattern(C) ∪ pattern(T), so this doubles as a tight
   // reserve bound for the staging buffers.
-  c = build_csr_staged<CT>(c.nrows(), c.ncols(), merge_row,
-                           c.nvals() + t.nvals());
+  auto merged = build_csr_staged<CT>(c.nrows(), c.ncols(), merge_row,
+                                     c.nvals() + t.nvals());
+  recycle(std::move(t));
+  recycle(std::move(c));
+  c = std::move(merged);
 }
 
 }  // namespace grb::detail

@@ -16,6 +16,7 @@
 
 #include "grb/detail/csr_builder.hpp"
 #include "grb/detail/parallel.hpp"
+#include "grb/detail/workspace.hpp"
 #include "grb/detail/write_back.hpp"
 #include "grb/matrix.hpp"
 #include "grb/types.hpp"
@@ -42,7 +43,9 @@ Matrix<U> transpose_compute(const Matrix<U>& a) {
     builder.finish_symbolic();
     const auto colind = builder.all_cols();
     const auto val = builder.all_vals();
-    std::vector<Index> cursor(nr);
+    auto cursor_lease = workspace().lease<Index>(nr);
+    auto& cursor = *cursor_lease;
+    cursor.resize(nr);
     for (Index j = 0; j < nr; ++j) cursor[j] = builder.row_offset(j);
     for (Index i = 0; i < nc; ++i) {
       const auto cols = a.row_cols(i);
@@ -66,10 +69,11 @@ Matrix<U> transpose_compute(const Matrix<U>& a) {
     const Index lo = std::min<Index>(nc, chunk * static_cast<Index>(t));
     return std::pair<Index, Index>{lo, std::min<Index>(nc, lo + chunk)};
   };
-  std::vector<std::vector<Index>> block(static_cast<std::size_t>(nblocks));
+  auto block = workspace().lease_team<Index>(
+      static_cast<std::size_t>(nblocks), nr);
   parallel_region([&](int tid, int nt) {
     for (int t = tid; t < nblocks; t += nt) {
-      auto& hist = block[static_cast<std::size_t>(t)];
+      auto& hist = block.buf(static_cast<std::size_t>(t));
       hist.assign(nr, 0);
       const auto [lo, hi] = block_range(t);
       for (Index i = lo; i < hi; ++i) {
@@ -80,7 +84,7 @@ Matrix<U> transpose_compute(const Matrix<U>& a) {
   parallel_for(
       nr, [&](Index j) {
         Index sum = 0;
-        for (const auto& hist : block) sum += hist[j];
+        for (std::size_t t = 0; t < block.size(); ++t) sum += block.buf(t)[j];
         counts[j] = sum;
       },
       nnz);
@@ -90,7 +94,8 @@ Matrix<U> transpose_compute(const Matrix<U>& a) {
   parallel_for(
       nr, [&](Index j) {
         Index next = builder.row_offset(j);
-        for (auto& hist : block) {
+        for (std::size_t t = 0; t < block.size(); ++t) {
+          auto& hist = block.buf(t);
           const Index mine = hist[j];
           hist[j] = next;
           next += mine;
@@ -101,7 +106,7 @@ Matrix<U> transpose_compute(const Matrix<U>& a) {
   const auto val = builder.all_vals();
   parallel_region([&](int tid, int nt) {
     for (int t = tid; t < nblocks; t += nt) {
-      auto& cursor = block[static_cast<std::size_t>(t)];
+      auto& cursor = block.buf(static_cast<std::size_t>(t));
       const auto [lo, hi] = block_range(t);
       for (Index i = lo; i < hi; ++i) {
         const auto cols = a.row_cols(i);

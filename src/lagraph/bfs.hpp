@@ -1,8 +1,11 @@
-// Level-synchronous BFS in the language of linear algebra (the canonical
-// GraphBLAS algorithm): the frontier is a sparse boolean vector, expanded
-// with vxm over the lor_land semiring under the complemented visited mask.
-// Not used by the case-study queries directly; exercised by tests and the
-// community_watch example as additional library surface.
+// Level-synchronous direction-optimising BFS in the language of linear
+// algebra: the frontier is a sparse boolean vector expanded under the
+// complemented visited mask, switching per level between the push kernel
+// (vxm scatter over A) and the pull kernel (mxv dot over Aᵀ, built lazily)
+// with Beamer's frontier-size / unexplored-degree heuristic. Both
+// directions produce the identical frontier, so results never depend on
+// the switch. Not used by the case-study queries directly; exercised by
+// tests and the community_watch example as additional library surface.
 #pragma once
 
 #include <vector>

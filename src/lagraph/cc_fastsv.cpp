@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "grb/detail/parallel.hpp"
+#include "grb/detail/workspace.hpp"
 
 namespace lagraph {
 
@@ -13,8 +14,13 @@ std::vector<Index> cc_fastsv(const grb::Matrix<grb::Bool>& adj) {
     throw grb::DimensionMismatch("cc_fastsv: adjacency must be square");
   }
   const Index n = adj.nrows();
-  std::vector<Index> f(n);   // parent
-  std::vector<Index> gf(n);  // grandparent
+  std::vector<Index> f(n);  // parent (the result, so not arena-backed)
+  // Grandparent scratch leases from the workspace: Q2 runs FastSV once per
+  // affected comment, and the warm per-thread shard serves every call after
+  // the first for free.
+  auto gf_lease = grb::detail::workspace().lease<Index>(n);
+  auto& gf = *gf_lease;
+  gf.resize(n);
   for (Index i = 0; i < n; ++i) {
     f[i] = i;
     gf[i] = i;
@@ -27,8 +33,11 @@ std::vector<Index> cc_fastsv(const grb::Matrix<grb::Bool>& adj) {
   while (changed) {
     changed = false;
     // mngf(i) = min_{j : A(i,j) present} gf(j)   (LAGraph: GrB_mxv)
-    const auto gf_vec = grb::Vector<Index>::dense(n, [&](Index i) { return gf[i]; });
+    auto gf_vec = grb::Vector<Index>::dense(n, [&](Index i) { return gf[i]; });
     grb::mxv(mngf, sr, adj, gf_vec);
+    // The iterate's storage goes back to the arena; the next iteration's
+    // dense() rebuild (and the next FastSV call) leases it straight back.
+    grb::recycle(std::move(gf_vec));
 
     const auto mi = mngf.indices();
     const auto mv = mngf.values();
@@ -83,6 +92,7 @@ std::vector<Index> cc_fastsv(const grb::Matrix<grb::Bool>& adj) {
         },
         [](int x, int y) { return x | y; }) != 0;
   }
+  grb::recycle(std::move(mngf));
   return f;
 }
 

@@ -46,7 +46,8 @@ std::string GrbBatchEngine::evaluate() {
 std::string GrbBatchEngine::initial() { return evaluate(); }
 
 std::string GrbBatchEngine::update(const sm::ChangeSet& cs) {
-  state_.apply_change_set(cs);  // batch: delta discarded, full recompute
+  state_.apply_change_set(cs);  // batch: delta discarded (and recycled by
+                                // its destructor), full recompute
   return evaluate();
 }
 
@@ -73,8 +74,8 @@ std::string GrbIncrementalEngine::initial() {
 }
 
 std::string GrbIncrementalEngine::update(const sm::ChangeSet& cs) {
-  const GrbDelta delta = state_.apply_change_set(cs);
-  const grb::Vector<U64> changed =
+  GrbDelta delta = state_.apply_change_set(cs);
+  grb::Vector<U64> changed =
       query_ == harness::Query::kQ1
           ? q1_incremental_update(state_, delta, scores_)
           : q2_incremental_update(state_, delta, scores_);
@@ -85,26 +86,26 @@ std::string GrbIncrementalEngine::update(const sm::ChangeSet& cs) {
     // of an entity we never offered). The maintained score vector makes the
     // re-rank a plain O(n) scan — no reevaluation.
     top_ = scan_top_k(state_, query_, scores_);
-    return top_.answer();
-  }
-
-  // Insert-only fast path: merge the previous top-3 with (a) every entity
-  // whose score changed and (b) new zero-score entities, which can rank by
-  // recency.
-  const auto ci = changed.indices();
-  const auto cv = changed.values();
-  for (std::size_t k = 0; k < ci.size(); ++k) {
-    offer(ci[k], cv[k]);
-  }
-  if (query_ == harness::Query::kQ1) {
-    for (const Index p : delta.new_posts) {
-      offer(p, scores_.at_or(p, 0));
-    }
   } else {
-    for (const Index c : delta.new_comments) {
-      offer(c, scores_.at_or(c, 0));
+    // Insert-only fast path: merge the previous top-3 with (a) every entity
+    // whose score changed and (b) new zero-score entities, which can rank
+    // by recency.
+    const auto ci = changed.indices();
+    const auto cv = changed.values();
+    for (std::size_t k = 0; k < ci.size(); ++k) {
+      offer(ci[k], cv[k]);
+    }
+    if (query_ == harness::Query::kQ1) {
+      for (const Index p : delta.new_posts) {
+        offer(p, scores_.at_or(p, 0));
+      }
+    } else {
+      for (const Index c : delta.new_comments) {
+        offer(c, scores_.at_or(c, 0));
+      }
     }
   }
+  grb::recycle(std::move(changed));
   return top_.answer();
 }
 
@@ -170,12 +171,13 @@ std::string GrbIncrementalCcEngine::initial() {
 }
 
 std::string GrbIncrementalCcEngine::update(const sm::ChangeSet& cs) {
-  const GrbDelta delta = state_.apply_change_set(cs);
+  GrbDelta delta = state_.apply_change_set(cs);
   if (query_ == harness::Query::kQ1) {
     // Q1 has no CC component; behave exactly like the incremental engine.
-    const auto changed = q1_incremental_update(state_, delta, q1_scores_);
+    auto changed = q1_incremental_update(state_, delta, q1_scores_);
     if (delta.has_removals()) {
       top_ = scan_top_k(state_, query_, q1_scores_);
+      grb::recycle(std::move(changed));
       return top_.answer();
     }
     const auto ci = changed.indices();
@@ -188,6 +190,7 @@ std::string GrbIncrementalCcEngine::update(const sm::ChangeSet& cs) {
       top_.offer(Ranked{state_.post_id(p), q1_scores_.at_or(p, 0),
                         state_.post_timestamp(p)});
     }
+    grb::recycle(std::move(changed));
     return top_.answer();
   }
 

@@ -15,9 +15,13 @@ U64 q2_comment_score(const GrbState& state, Index comment) {
   const auto likers = state.likes().row_cols(comment);
   if (likers.empty()) return 0;
   // Step 2: induced friendship subgraph.
-  const auto sub = grb::extract_submatrix(state.friends(), likers, likers);
+  auto sub = grb::extract_submatrix(state.friends(), likers, likers);
   // Step 3: connected components via FastSV (LAGraph).
   const auto labels = lagraph::cc_fastsv(sub);
+  // This runs once per (affected) comment, from whichever OpenMP thread the
+  // comment landed on; recycling into the thread's workspace shard lets the
+  // next comment on that thread reuse the submatrix storage.
+  grb::recycle(std::move(sub));
   // Step 4: Σ (component size)².
   return lagraph::sum_squared_component_sizes(labels);
 }
@@ -59,6 +63,8 @@ std::vector<Index> q2_affected_comments(const GrbState& state,
     grb::reduce_rows(ac_vec, grb::lor_monoid<U64>(), ac);
     affected.insert(affected.end(), ac_vec.indices().begin(),
                     ac_vec.indices().end());
+    grb::recycle(std::move(ac));
+    grb::recycle(std::move(ac_vec));
   };
   incidence_hits(delta.new_friends);
   // Removal extension: a removed friendship affects comments both ex-friends
@@ -91,7 +97,7 @@ std::vector<Index> q2_affected_comments_coarse(const GrbState& state,
   // Coarse rule: any comment liked by *either* endpoint — a vxm of the
   // endpoint indicator against Likes′ᵀ; expressed here as a column gather
   // over the transposed Likes matrix once per change set.
-  const auto likes_t = grb::transposed(state.likes());
+  auto likes_t = grb::transposed(state.likes());
   const auto mark_user = [&](Index u) {
     const auto cols = likes_t.row_cols(u);
     affected.insert(affected.end(), cols.begin(), cols.end());
@@ -104,6 +110,7 @@ std::vector<Index> q2_affected_comments_coarse(const GrbState& state,
     mark_user(a);
     mark_user(b);
   }
+  grb::recycle(std::move(likes_t));
   std::sort(affected.begin(), affected.end());
   affected.erase(std::unique(affected.begin(), affected.end()),
                  affected.end());

@@ -22,7 +22,45 @@ TEST(ScaleTable, HasAllElevenRows) {
 TEST(ScaleTable, SpecForUnknownScaleThrows) {
   EXPECT_NO_THROW(datagen::spec_for(64));
   EXPECT_THROW(datagen::spec_for(3), grb::InvalidValue);
-  EXPECT_THROW(datagen::spec_for(2048), grb::InvalidValue);
+  EXPECT_THROW(datagen::spec_for(1536), grb::InvalidValue);
+  EXPECT_THROW(datagen::spec_for(datagen::kMaxScaleFactor * 2),
+               grb::InvalidValue);
+}
+
+TEST(ScaleTable, ExtrapolatesBeyondTableTwo) {
+  // Powers of two above 1024 follow the power-law fit of the Table II
+  // node/edge columns: monotone continuation with roughly the table's
+  // per-doubling growth (nodes ×~1.9, edges ×~2.0 per step).
+  EXPECT_TRUE(datagen::is_extrapolated(2048));
+  EXPECT_FALSE(datagen::is_extrapolated(1024));
+  // False wherever spec_for would throw (non-power-of-two, out of range).
+  EXPECT_FALSE(datagen::is_extrapolated(1536));
+  EXPECT_FALSE(datagen::is_extrapolated(datagen::kMaxScaleFactor * 2));
+  const auto sf1024 = datagen::spec_for(1024);
+  const auto sf2048 = datagen::spec_for(2048);
+  const auto sf4096 = datagen::spec_for(4096);
+  EXPECT_EQ(sf2048.scale_factor, 2048u);
+  EXPECT_GT(sf2048.nodes, sf1024.nodes);
+  EXPECT_GT(sf4096.nodes, sf2048.nodes);
+  EXPECT_GT(sf2048.edges, sf1024.edges);
+  // Growth per doubling stays in the table's observed band.
+  const double node_ratio = static_cast<double>(sf4096.nodes) /
+                            static_cast<double>(sf2048.nodes);
+  const double edge_ratio = static_cast<double>(sf4096.edges) /
+                            static_cast<double>(sf2048.edges);
+  EXPECT_GT(node_ratio, 1.6);
+  EXPECT_LT(node_ratio, 2.2);
+  EXPECT_GT(edge_ratio, 1.7);
+  EXPECT_LT(edge_ratio, 2.3);
+  EXPECT_GT(sf2048.inserts, 0u);
+  // The fit must reproduce the tabled rows' order of magnitude at the top
+  // end (sanity that extrapolation and table agree at the boundary).
+  const auto fit1024 = datagen::extrapolated_spec(2048);
+  EXPECT_NEAR(static_cast<double>(fit1024.nodes),
+              static_cast<double>(sf1024.nodes) * 1.92, 0.25 * 1.92 *
+                  static_cast<double>(sf1024.nodes));
+  // params_for_scale accepts extrapolated scale factors end to end.
+  EXPECT_NO_THROW(datagen::params_for_scale(2048));
 }
 
 TEST(Generator, DeterministicForSameSeed) {

@@ -1,0 +1,203 @@
+// Unit tests for the Context-owned workspace arena: lease/donate round
+// trips, size-bucketed reuse, growth, thread-team leases, capacity-reuse
+// storage release/adopt on Matrix/Vector, and the stats counters the CI
+// perf gate reads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "grb/context.hpp"
+#include "grb/detail/workspace.hpp"
+#include "grb/grb.hpp"
+
+namespace {
+
+using grb::Index;
+using grb::detail::Workspace;
+
+TEST(Workspace, LeaseProvidesClearedCapacityAndCountsMiss) {
+  Workspace ws;
+  auto lease = ws.lease<double>(100);
+  EXPECT_EQ(lease->size(), 0u);
+  EXPECT_GE(lease->capacity(), 100u);
+  lease->assign(100, 1.5);
+  const auto s = ws.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.leases(), 1u);
+  EXPECT_EQ(s.bytes_leased, 100u * sizeof(double));
+}
+
+TEST(Workspace, ReleasedBufferIsReusedCleared) {
+  Workspace ws;
+  const double* data = nullptr;
+  {
+    auto lease = ws.lease<double>(100);
+    lease->assign(100, 42.0);
+    data = lease->data();
+  }
+  EXPECT_EQ(ws.stats().donations, 1u);
+  EXPECT_EQ(ws.stats().buffers_cached, 1u);
+  auto again = ws.lease<double>(80);
+  EXPECT_EQ(ws.stats().hits, 1u);
+  EXPECT_EQ(ws.stats().buffers_cached, 0u);
+  // Same storage, arriving cleared.
+  EXPECT_EQ(again->data(), data);
+  EXPECT_EQ(again->size(), 0u);
+  EXPECT_GE(again->capacity(), 80u);
+}
+
+TEST(Workspace, GrownBufferReturnsAtItsNewCapacity) {
+  Workspace ws;
+  {
+    auto lease = ws.lease<int>(10);
+    for (int i = 0; i < 10000; ++i) lease->push_back(i);  // grows past hint
+  }
+  // The grown buffer serves a much larger request without a new allocation.
+  auto big = ws.lease<int>(5000);
+  EXPECT_GE(big->capacity(), 5000u);
+  EXPECT_EQ(ws.stats().hits, 1u);
+  EXPECT_EQ(ws.stats().misses, 1u);  // only the original lease
+}
+
+TEST(Workspace, SmallRequestFallsBackToAnyLargerBuffer) {
+  // Buffers migrate upward through growth; a tiny request must still reuse
+  // a much larger cached buffer rather than allocating.
+  Workspace ws;
+  { auto lease = ws.lease<int>(1 << 16); }
+  auto tiny = ws.lease<int>(8);
+  EXPECT_GE(tiny->capacity(), 1u << 16);
+  EXPECT_EQ(ws.stats().hits, 1u);
+  EXPECT_EQ(ws.stats().misses, 1u);
+}
+
+TEST(Workspace, TeamLeaseAndTeamResize) {
+  Workspace ws;
+  {
+    auto team = ws.lease_team<double>(4, 256);
+    ASSERT_EQ(team.size(), 4u);
+    for (std::size_t t = 0; t < team.size(); ++t) {
+      team.buf(t).resize(256);
+      team.buf(t)[0] = static_cast<double>(t);
+    }
+  }
+  EXPECT_EQ(ws.stats().misses, 4u);
+  EXPECT_EQ(ws.stats().donations, 4u);
+  {
+    // Thread-team resize: a larger team reuses the old team's buffers and
+    // tops up the difference.
+    auto team = ws.lease_team<double>(8, 256);
+    ASSERT_EQ(team.size(), 8u);
+  }
+  EXPECT_EQ(ws.stats().hits, 4u);
+  EXPECT_EQ(ws.stats().misses, 8u);
+  {
+    auto team = ws.lease_team<double>(8, 256);
+  }
+  EXPECT_EQ(ws.stats().hits, 12u);
+  EXPECT_EQ(ws.stats().misses, 8u);
+}
+
+TEST(Workspace, DetachSeversThePoolLink) {
+  Workspace ws;
+  std::vector<Index> out;
+  {
+    auto lease = ws.lease<Index>(128);
+    lease->assign(128, Index{7});
+    out = lease.detach();
+  }
+  EXPECT_EQ(ws.stats().donations, 0u);  // nothing returned on destruction
+  EXPECT_EQ(out.size(), 128u);
+  // An explicit donate puts the detached buffer back.
+  ws.donate(std::move(out));
+  EXPECT_EQ(ws.stats().donations, 1u);
+  EXPECT_EQ(ws.lease<Index>(100)->capacity(), 128u);
+}
+
+TEST(Workspace, TinyDonationsAreDropped) {
+  Workspace ws;
+  std::vector<int> tiny;
+  tiny.reserve(4);
+  ws.donate(std::move(tiny));
+  EXPECT_EQ(ws.stats().donations, 0u);
+  EXPECT_EQ(ws.stats().drops, 1u);
+  EXPECT_EQ(ws.stats().buffers_cached, 0u);
+  // Empty vectors (no storage) are ignored entirely.
+  ws.donate(std::vector<int>{});
+  EXPECT_EQ(ws.stats().drops, 1u);
+}
+
+TEST(Workspace, StatsResetClearsCountersKeepsGauges) {
+  Workspace ws;
+  { auto lease = ws.lease<double>(1000); }
+  auto s = ws.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.buffers_cached, 1u);
+  ws.reset_stats();
+  s = ws.stats();
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.donations, 0u);
+  EXPECT_EQ(s.bytes_leased, 0u);
+  EXPECT_EQ(s.buffers_cached, 1u);  // gauge survives
+  EXPECT_GT(s.bytes_cached, 0u);
+}
+
+TEST(Workspace, TrimFreesEverythingCached) {
+  Workspace ws;
+  { auto lease = ws.lease<double>(4096); }
+  { auto lease = ws.lease<Index>(4096); }
+  EXPECT_EQ(ws.stats().buffers_cached, 2u);
+  const std::size_t freed = ws.trim();
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(ws.stats().buffers_cached, 0u);
+  EXPECT_EQ(ws.stats().bytes_cached, 0u);
+  // The next lease allocates fresh again.
+  { auto lease = ws.lease<double>(4096); }
+  EXPECT_EQ(ws.stats().misses, 3u);
+}
+
+TEST(Workspace, ContextOwnsAProcessWideArena) {
+  auto& ws = grb::Context::instance().workspace();
+  EXPECT_EQ(&ws, &grb::detail::workspace());
+  const auto before = grb::workspace_stats();
+  { auto lease = ws.lease<std::uint32_t>(512); }
+  const auto after = grb::workspace_stats();
+  EXPECT_EQ(after.leases(), before.leases() + 1);
+}
+
+TEST(StorageReuse, MatrixReleaseAdoptRoundtrip) {
+  auto m = grb::Matrix<double>::build(
+      3, 4, {{0, 1, 1.5}, {1, 0, -2.0}, {2, 3, 7.0}});
+  const auto original = m;
+  auto st = m.release_storage();
+  EXPECT_EQ(m.nrows(), 0u);
+  EXPECT_EQ(m.ncols(), 0u);
+  EXPECT_EQ(m.nvals(), 0u);
+  const auto back = grb::Matrix<double>::adopt_storage(
+      3, 4, std::move(st), grb::CsrCheck::kAlways);
+  EXPECT_EQ(back, original);
+}
+
+TEST(StorageReuse, VectorReleaseAdoptRoundtrip) {
+  auto v = grb::Vector<double>::build(10, {1, 4, 7}, {0.5, 1.5, 2.5});
+  const auto original = v;
+  auto st = v.release_storage();
+  EXPECT_EQ(v.size(), 10u);  // logical size kept
+  EXPECT_EQ(v.nvals(), 0u);
+  const auto back = grb::Vector<double>::adopt_storage(
+      10, std::move(st), grb::CsrCheck::kAlways);
+  EXPECT_EQ(back, original);
+}
+
+TEST(StorageReuse, RecycleDonatesToTheContextArena) {
+  // A kernel-sized container's storage must land back in the pool.
+  const auto before = grb::workspace_stats();
+  auto v = grb::Vector<Index>::dense(1000, [](Index i) { return i; });
+  grb::recycle(std::move(v));
+  const auto after = grb::workspace_stats();
+  EXPECT_GE(after.donations, before.donations + 2);  // ind + val arrays
+}
+
+}  // namespace
