@@ -21,12 +21,24 @@
 //                              on update-and-reevaluation at the largest
 //                              scale factor run, AND the workspace arena
 //                              serves the steady-state incremental loop
-//                              with zero misses after a warm-up pass)
+//                              with zero misses after a warm-up pass; with
+//                              --shards=N it additionally cross-checks the
+//                              sharded engines' answers against the
+//                              unsharded ones and gates zero steady-state
+//                              misses per shard)
+//   --shards=N                (also run the sharded engine pair at N
+//                              shards, one thread per shard)
+//   --json=PATH               (machine-readable results: timings per
+//                              tool/query/scale, plus — with --smoke —
+//                              the gate verdicts, the arena counters, and
+//                              per-shard arena_hit_rate fields)
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "datagen/generator.hpp"
 #include "grb/context.hpp"
@@ -40,6 +52,121 @@ struct Cell {
   double initial = -1.0;
   double update = -1.0;
 };
+
+/// Everything the smoke gates decided, for the exit code and the JSON.
+struct SmokeResult {
+  bool ran = false;
+  bool trend_ok = false;
+  double incremental_s = -1.0;
+  double batch_s = -1.0;
+  unsigned scale = 0;
+  bool arena_ok = false;
+  grb::WorkspaceStats loop;  ///< steady-state unsharded update loop
+  // --- sharded gates (only with --shards=N) ---------------------------------
+  bool sharded_ran = false;
+  bool sharded_answers_ok = false;
+  bool sharded_arena_ok = false;
+  grb::WorkspaceStats sharded_loop;
+  std::vector<grb::WorkspaceStats> per_shard;
+
+  [[nodiscard]] bool ok() const {
+    return trend_ok && arena_ok &&
+           (!sharded_ran || (sharded_answers_ok && sharded_arena_ok));
+  }
+};
+
+void write_json(
+    const std::string& path, std::uint64_t seed, int repeats, int shards,
+    const std::vector<unsigned>& scales,
+    const std::vector<harness::ToolSpec>& tools,
+    const std::vector<harness::Query>& queries,
+    const std::map<std::string,
+                   std::map<std::string, std::map<unsigned, Cell>>>& res,
+    const SmokeResult& smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "fig5: cannot write --json=" << path << "\n";
+    return;
+  }
+  const auto stats_fields = [&](const grb::WorkspaceStats& w) {
+    std::fprintf(f,
+                 "\"leases\": %llu, \"hits\": %llu, \"steals\": %llu, "
+                 "\"misses\": %llu, \"splits\": %llu, \"shrinks\": %llu, "
+                 "\"arena_hit_rate\": %.6f",
+                 static_cast<unsigned long long>(w.leases()),
+                 static_cast<unsigned long long>(w.hits),
+                 static_cast<unsigned long long>(w.steals),
+                 static_cast<unsigned long long>(w.misses),
+                 static_cast<unsigned long long>(w.splits),
+                 static_cast<unsigned long long>(w.shrinks), w.hit_rate());
+  };
+  std::fprintf(f, "{\n  \"bench\": \"fig5_runtime\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n  \"repeats\": %d,\n  \"shards\": %d,\n",
+               static_cast<unsigned long long>(seed), repeats, shards);
+  std::fprintf(f, "  \"scales\": [");
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    std::fprintf(f, "%s%u", i ? ", " : "", scales[i]);
+  }
+  std::fprintf(f, "],\n  \"tools\": [\n");
+  for (std::size_t t = 0; t < tools.size(); ++t) {
+    const auto& tool = tools[t];
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"key\": \"%s\", \"threads\": %d, "
+                 "\"shards\": %d, \"results\": [",
+                 tool.label.c_str(), tool.key.c_str(), tool.threads,
+                 tool.shards);
+    bool first = true;
+    for (const harness::Query q : queries) {
+      const auto by_tool = res.find(harness::query_name(q));
+      if (by_tool == res.end()) continue;
+      const auto by_scale = by_tool->second.find(tool.label);
+      if (by_scale == by_tool->second.end()) continue;
+      for (const unsigned sf : scales) {
+        // Emit only combinations the timing loop actually measured — a
+        // fabricated default cell would read as a (negative) measurement.
+        const auto cell = by_scale->second.find(sf);
+        if (cell == by_scale->second.end()) continue;
+        std::fprintf(f,
+                     "%s\n      {\"query\": \"%s\", \"scale\": %u, "
+                     "\"initial_s\": %.6g, \"update_s\": %.6g}",
+                     first ? "" : ",", harness::query_name(q), sf,
+                     cell->second.initial, cell->second.update);
+        first = false;
+      }
+    }
+    std::fprintf(f, "\n    ]}%s\n", t + 1 < tools.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+  if (smoke.ran) {
+    std::fprintf(f,
+                 ",\n  \"smoke\": {\n    \"ok\": %s,\n    \"trend_ok\": %s,\n"
+                 "    \"incremental_s\": %.6g,\n    \"batch_s\": %.6g,\n"
+                 "    \"scale\": %u,\n    \"workspace\": {",
+                 smoke.ok() ? "true" : "false",
+                 smoke.trend_ok ? "true" : "false", smoke.incremental_s,
+                 smoke.batch_s, smoke.scale);
+    stats_fields(smoke.loop);
+    std::fprintf(f, ", \"arena_ok\": %s}", smoke.arena_ok ? "true" : "false");
+    if (smoke.sharded_ran) {
+      std::fprintf(f,
+                   ",\n    \"sharded\": {\"shards\": %d, "
+                   "\"answers_match\": %s, \"arena_ok\": %s, \"workspace\": {",
+                   shards, smoke.sharded_answers_ok ? "true" : "false",
+                   smoke.sharded_arena_ok ? "true" : "false");
+      stats_fields(smoke.sharded_loop);
+      std::fprintf(f, "}, \"per_shard\": [");
+      for (std::size_t s = 0; s < smoke.per_shard.size(); ++s) {
+        std::fprintf(f, "%s\n      {\"shard\": %zu, ", s ? "," : "", s);
+        stats_fields(smoke.per_shard[s]);
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "\n    ]}");
+    }
+    std::fprintf(f, "\n  }");
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+}
 
 }  // namespace
 
@@ -55,9 +182,14 @@ int main(int argc, char** argv) {
   const bool verify = flags.get_bool("verify", false);
 
   const bool smoke = flags.get_bool("smoke", false);
+  const int shards = static_cast<int>(flags.get_int("shards", 0));
+  const std::string json_path = flags.get("json", "");
   std::vector<harness::ToolSpec> tools = harness::fig5_tools();
   if (flags.get_bool("extension", false)) {
     tools.push_back(harness::find_tool("grb-incremental-cc"));
+  }
+  if (shards > 0) {
+    for (const auto& t : harness::sharded_tools(shards)) tools.push_back(t);
   }
   const std::string tools_sel = flags.get("tools", "");
   if (!tools_sel.empty()) {
@@ -190,6 +322,7 @@ int main(int argc, char** argv) {
   // advantage is the paper's order-of-magnitude claim and survives noisy CI
   // runners, whereas Q1's small-scale gap is a noise-level margin that would
   // make the gate flaky.
+  SmokeResult sr;
   if (smoke) {
     if (scales.empty() || (phase_sel != "update" && phase_sel != "both") ||
         std::find(queries.begin(), queries.end(), harness::Query::kQ2) ==
@@ -207,12 +340,14 @@ int main(int argc, char** argv) {
                    "Incremental tools (check --tools)\n";
       return 2;
     }
-    const double ti = inc->second.at(top).update;
-    const double tb = batch->second.at(top).update;
-    const bool trend_ok = ti < tb;
+    sr.ran = true;
+    sr.scale = top;
+    sr.incremental_s = inc->second.at(top).update;
+    sr.batch_s = batch->second.at(top).update;
+    sr.trend_ok = sr.incremental_s < sr.batch_s;
     std::printf("[%s] smoke %s: incremental %.4gs %s batch %.4gs (SF %u)\n",
-                trend_ok ? "PASS" : "FAIL", qn, ti, trend_ok ? "<" : ">=", tb,
-                top);
+                sr.trend_ok ? "PASS" : "FAIL", qn, sr.incremental_s,
+                sr.trend_ok ? "<" : ">=", sr.batch_s, top);
 
     // --- steady-state workspace check ----------------------------------------
     // The paper's claim lives on the per-change-set update loop, and the
@@ -220,18 +355,43 @@ int main(int argc, char** argv) {
     // pass over the change sequence, a second identical run's update phase
     // must lease every buffer from the pool — zero misses. The run is
     // single-threaded (the incremental tool's configuration), so lease
-    // sequences are deterministic and the gate is exact.
+    // sequences are deterministic and the gate is exact. (High-watermark
+    // splits are counted as misses too, so zero misses also means the
+    // steady state never re-materialises a small class.)
     const auto& inc_tool = harness::find_tool("grb-incremental");
     const datagen::Dataset& ds = top_ds;  // generated by the timing loop
-    grb::ThreadGuard guard(inc_tool.threads);
-    const auto run_updates = [&](bool reset_after_initial) {
-      auto engine = harness::make_engine(inc_tool.key, harness::Query::kQ2);
+    const auto run_updates = [&](const harness::ToolSpec& tool,
+                                 bool reset_after_initial) {
+      grb::ThreadGuard guard(tool.threads);
+      auto engine = harness::make_engine(tool, harness::Query::kQ2);
       engine->load(ds.initial);
       engine->initial();
       if (reset_after_initial) grb::reset_workspace_stats();
       for (const auto& cs : ds.changes) {
         engine->update(cs);
       }
+    };
+    const auto print_loop = [](const char* what, bool ok,
+                               const grb::WorkspaceStats& ws) {
+      std::printf(
+          "[%s] smoke workspace%s: steady-state update loop leased %llu "
+          "buffers (%.1f MiB): %llu hits, %llu steals, %llu misses; pool "
+          "caches %.1f MiB\n",
+          ok ? "PASS" : "FAIL", what,
+          static_cast<unsigned long long>(ws.leases()),
+          static_cast<double>(ws.bytes_leased) / (1024.0 * 1024.0),
+          static_cast<unsigned long long>(ws.hits),
+          static_cast<unsigned long long>(ws.steals),
+          static_cast<unsigned long long>(ws.misses),
+          static_cast<double>(ws.bytes_cached) / (1024.0 * 1024.0));
+      std::printf(
+          "  (donations %llu, drops %llu, splits %llu, shrinks %llu, buffers "
+          "cached %llu)\n",
+          static_cast<unsigned long long>(ws.donations),
+          static_cast<unsigned long long>(ws.drops),
+          static_cast<unsigned long long>(ws.splits),
+          static_cast<unsigned long long>(ws.shrinks),
+          static_cast<unsigned long long>(ws.buffers_cached));
     };
     // Trim first so the check is independent of whatever the timing runs
     // above left in the pool, then warm up twice: the first pass's cold
@@ -240,26 +400,77 @@ int main(int argc, char** argv) {
     // settles the pool into the per-run equilibrium that every subsequent
     // run replays exactly.
     grb::trim_workspace();
-    run_updates(/*reset_after_initial=*/false);
-    run_updates(/*reset_after_initial=*/false);
-    run_updates(/*reset_after_initial=*/true);  // measured
-    const grb::WorkspaceStats ws = grb::workspace_stats();
-    const bool arena_ok = ws.misses == 0;
-    std::printf(
-        "[%s] smoke workspace: steady-state update loop leased %llu buffers "
-        "(%.1f MiB): %llu hits, %llu steals, %llu misses; pool caches "
-        "%.1f MiB\n",
-        arena_ok ? "PASS" : "FAIL", static_cast<unsigned long long>(ws.leases()),
-        static_cast<double>(ws.bytes_leased) / (1024.0 * 1024.0),
-        static_cast<unsigned long long>(ws.hits),
-        static_cast<unsigned long long>(ws.steals),
-        static_cast<unsigned long long>(ws.misses),
-        static_cast<double>(ws.bytes_cached) / (1024.0 * 1024.0));
-    std::printf("  (donations %llu, drops %llu, buffers cached %llu)\n",
-                static_cast<unsigned long long>(ws.donations),
-                static_cast<unsigned long long>(ws.drops),
-                static_cast<unsigned long long>(ws.buffers_cached));
-    return trend_ok && arena_ok ? 0 : 1;
+    run_updates(inc_tool, /*reset_after_initial=*/false);
+    run_updates(inc_tool, /*reset_after_initial=*/false);
+    run_updates(inc_tool, /*reset_after_initial=*/true);  // measured
+    sr.loop = grb::workspace_stats();
+    sr.arena_ok = sr.loop.misses == 0;
+    print_loop("", sr.arena_ok, sr.loop);
+
+    // --- sharded gates -------------------------------------------------------
+    // (1) Determinism: the sharded engines' answer sequences must be
+    // byte-identical to the unsharded ones on the smoke dataset. (2) The
+    // sharded steady-state update loop must also run without arena misses,
+    // globally and per shard. The loop is pinned to one thread (the shard
+    // fan-out serialises) so lease sequences stay deterministic and the
+    // per-shard domain counters partition the whole loop exactly.
+    if (shards > 0) {
+      if (static_cast<std::size_t>(shards) >
+          grb::detail::Workspace::kMaxDomains) {
+        // Domains past the cap fold into the unattributed bucket and would
+        // read back as zero misses — a vacuously passing gate. Refuse.
+        std::cerr << "fig5 smoke: --shards=" << shards
+                  << " exceeds the arena's "
+                  << grb::detail::Workspace::kMaxDomains
+                  << " stats domains; the per-shard gate cannot be measured\n";
+        return 2;
+      }
+      sr.sharded_ran = true;
+      harness::ToolSpec sharded_inc;
+      for (const auto& t : harness::sharded_tools(shards)) {
+        if (t.key == "grb-sharded-incremental") sharded_inc = t;
+      }
+      try {
+        harness::verify_tools({inc_tool, sharded_inc}, harness::Query::kQ2,
+                              ds.initial, ds.changes);
+        sr.sharded_answers_ok = true;
+      } catch (const std::exception& e) {
+        std::cerr << "sharded answer mismatch: " << e.what() << "\n";
+      }
+      std::printf("[%s] smoke sharded: %d-shard answers %s unsharded (%s)\n",
+                  sr.sharded_answers_ok ? "PASS" : "FAIL", shards,
+                  sr.sharded_answers_ok ? "match" : "DIVERGE from",
+                  harness::query_name(harness::Query::kQ2));
+
+      harness::ToolSpec pinned = sharded_inc;
+      pinned.threads = 1;
+      grb::trim_workspace();
+      run_updates(pinned, /*reset_after_initial=*/false);
+      run_updates(pinned, /*reset_after_initial=*/false);
+      run_updates(pinned, /*reset_after_initial=*/true);  // measured
+      sr.sharded_loop = grb::workspace_stats();
+      sr.sharded_arena_ok = sr.sharded_loop.misses == 0;
+      sr.per_shard.resize(static_cast<std::size_t>(shards));
+      for (std::size_t s = 0; s < sr.per_shard.size(); ++s) {
+        sr.per_shard[s] = grb::workspace_domain_stats(s);
+        sr.sharded_arena_ok =
+            sr.sharded_arena_ok && sr.per_shard[s].misses == 0;
+      }
+      print_loop(" (sharded)", sr.sharded_arena_ok, sr.sharded_loop);
+      for (std::size_t s = 0; s < sr.per_shard.size(); ++s) {
+        const auto& d = sr.per_shard[s];
+        std::printf(
+            "    shard %zu: %llu leases (%.1f MiB), %llu misses, hit rate "
+            "%.4f\n",
+            s, static_cast<unsigned long long>(d.leases()),
+            static_cast<double>(d.bytes_leased) / (1024.0 * 1024.0),
+            static_cast<unsigned long long>(d.misses), d.hit_rate());
+      }
+    }
   }
-  return 0;
+  if (!json_path.empty()) {
+    write_json(json_path, seed, repeats, shards, scales, tools, queries, res,
+               sr);
+  }
+  return !smoke || sr.ok() ? 0 : 1;
 }

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
 
   for (int run = 0; run < runs; ++run) {
     grbsm::support::Timer timer;
-    auto engine = harness::make_engine(tool.key, query);
+    auto engine = harness::make_engine(tool, query);
     record(tool.label, query_name.c_str(), run, "Initialization", "Time",
            std::to_string(timer.elapsed_ns()));
 

@@ -42,6 +42,10 @@ void reset_workspace_stats() { Context::instance().reset_workspace_stats(); }
 
 std::size_t trim_workspace() { return Context::instance().trim_workspace(); }
 
+WorkspaceStats workspace_domain_stats(std::size_t domain) {
+  return Context::instance().workspace().domain_stats(domain);
+}
+
 namespace detail {
 
 Workspace& workspace() noexcept { return Context::instance().workspace(); }

@@ -76,4 +76,9 @@ class Context {
 void reset_workspace_stats();
 std::size_t trim_workspace();
 
+/// Per-domain lease counters (hits/steals/misses/bytes_leased only — the
+/// other fields stay zero). Engine shards attribute their leases to a
+/// domain via detail::ScopedStatsDomain; this reads one domain's share.
+[[nodiscard]] WorkspaceStats workspace_domain_stats(std::size_t domain);
+
 }  // namespace grb

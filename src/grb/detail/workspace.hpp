@@ -70,6 +70,17 @@ struct WorkspaceStats {
   std::uint64_t bytes_leased = 0;  ///< total requested bytes across leases
   std::uint64_t donations = 0;   ///< buffers returned/donated to the pool
   std::uint64_t drops = 0;       ///< donations rejected (bucket full / tiny)
+  /// High-watermark splits: leases where the only cached candidates sat
+  /// above the oversize watermark, so the big buffer was kept whole and the
+  /// request took the (also counted) miss path instead. The freshly
+  /// allocated right-sized buffer populates the small class on donation —
+  /// the malloc-backed equivalent of splitting off the tail.
+  std::uint64_t splits = 0;
+  /// Shrink-on-detach events: a pool-origin buffer left the arena far
+  /// oversized for its contents, so its storage was swapped for a
+  /// right-sized lease and the big buffer was donated back instead of
+  /// staying pinned inside a small long-lived container.
+  std::uint64_t shrinks = 0;
   // Gauges.
   std::uint64_t buffers_cached = 0;
   std::uint64_t bytes_cached = 0;
@@ -77,11 +88,41 @@ struct WorkspaceStats {
   [[nodiscard]] std::uint64_t leases() const noexcept {
     return hits + steals + misses;
   }
+  /// Fraction of leases served from cache (1.0 when there were no leases —
+  /// an idle domain has nothing to miss).
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t l = leases();
+    return l == 0 ? 1.0 : static_cast<double>(l - misses) /
+                              static_cast<double>(l);
+  }
 };
 
 namespace detail {
 
 class Workspace;
+
+/// Stats-attribution domain of the calling thread (-1 = unattributed).
+/// Engine shards set a domain around their per-shard work so the arena can
+/// report per-shard hit rates; kernels never touch it. Thread-local: with
+/// nested OpenMP regions disabled (the default), everything a shard's
+/// thread leases is attributed to that shard.
+inline thread_local int tls_stats_domain = -1;
+
+/// RAII domain scope. Domains outside [0, Workspace::kMaxDomains) fold into
+/// the unattributed bucket (global counters only).
+class ScopedStatsDomain {
+ public:
+  explicit ScopedStatsDomain(int domain) noexcept
+      : saved_(tls_stats_domain) {
+    tls_stats_domain = domain;
+  }
+  ~ScopedStatsDomain() { tls_stats_domain = saved_; }
+  ScopedStatsDomain(const ScopedStatsDomain&) = delete;
+  ScopedStatsDomain& operator=(const ScopedStatsDomain&) = delete;
+
+ private:
+  int saved_;
+};
 
 /// RAII handle on a pooled buffer. Move-only; returns the buffer to the
 /// workspace on destruction unless detach()ed.
@@ -116,11 +157,11 @@ class Lease {
 
   /// Hands the buffer out of the arena (ownership moves to the caller; the
   /// lease becomes empty and returns nothing on destruction). Containers
-  /// built from detached buffers re-enter the pool via grb::recycle().
-  [[nodiscard]] std::vector<T> detach() noexcept {
-    ws_ = nullptr;
-    return std::move(buf_);
-  }
+  /// built from detached buffers re-enter the pool via grb::recycle(). A
+  /// buffer leaving far oversized for its contents is trimmed on the way
+  /// out (Workspace::detach_trimmed), so detached storage cannot pin a big
+  /// pool buffer inside a small long-lived container.
+  [[nodiscard]] std::vector<T> detach();  // defined after Workspace
 
  private:
   void release();  // defined after Workspace
@@ -161,27 +202,37 @@ class Workspace {
 
   /// Acquires a buffer with capacity >= n elements, cleared. Prefers a
   /// close-fitting buffer from the calling thread's shard, then from the
-  /// other shards (work-stealing); if no close fit exists anywhere, any
-  /// larger cached buffer is taken (buffers migrate to higher classes as
-  /// they grow through push_back, so without this fallback the small
-  /// classes would drain permanently). Only a pool-wide miss allocates.
+  /// other shards (work-stealing); if no close fit exists anywhere, a
+  /// larger cached buffer up to kOversizeClasses above the request is taken
+  /// (buffers migrate to higher classes as they grow through push_back, so
+  /// without this fallback the small classes would drain permanently).
+  /// Buffers above that high watermark are kept whole for the big requests
+  /// they fit: the lease takes the miss path instead (counted as a split as
+  /// well as a miss), and the right-sized allocation replenishes the small
+  /// class when it is donated back — the malloc-backed equivalent of
+  /// returning the tail to its own class, amortised over one cycle.
   template <typename T>
   [[nodiscard]] Lease<T> lease(std::size_t n) {
     const int cls = size_class(n);
     const std::size_t home = current_shard();
+    bool saw_oversize = false;
     for (const bool any_fit : {false, true}) {
       for (std::size_t probe = 0; probe < kShards; ++probe) {
         const std::size_t s = (home + probe) % kShards;
-        if (auto buf = try_acquire<T>(shards_[s], cls, any_fit)) {
+        if (auto buf = try_acquire<T>(shards_[s], cls, any_fit, saw_oversize)) {
           (probe == 0 ? hits_ : steals_)
               .fetch_add(1, std::memory_order_relaxed);
           bytes_leased_.fetch_add(n * sizeof(T), std::memory_order_relaxed);
+          count_domain(probe == 0 ? DomainEvent::kHit : DomainEvent::kSteal,
+                       n * sizeof(T));
           return Lease<T>(this, std::move(*buf));
         }
       }
     }
+    if (saw_oversize) splits_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
     bytes_leased_.fetch_add(n * sizeof(T), std::memory_order_relaxed);
+    count_domain(DomainEvent::kMiss, n * sizeof(T));
 #ifdef GRB_WORKSPACE_TRACE_MISSES
     // Miss forensics for arena regressions: every steady-state miss means
     // some container with pool-origin storage retired without grb::recycle.
@@ -236,6 +287,30 @@ class Workspace {
     donations_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Shrink-on-detach: a pool-origin buffer leaving the arena with capacity
+  /// at or above the oversize watermark relative to its contents is swapped
+  /// for a right-sized lease (contents copied — they are small by
+  /// definition of the rule) and the big buffer is donated back, so it
+  /// cannot stay pinned inside a small long-lived container. Non-trivially
+  /// copyable element types pass through untrimmed.
+  template <typename T>
+  [[nodiscard]] std::vector<T> detach_trimmed(std::vector<T>&& buf) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      const std::size_t cap = buf.capacity();
+      if (cap >= kMinBuffer &&
+          floor_class(cap) >= size_class(buf.size()) + kOversizeClasses) {
+        Lease<T> trimmed = lease<T>(buf.size());
+        trimmed->assign(buf.begin(), buf.end());
+        donate(std::move(buf));
+        shrinks_.fetch_add(1, std::memory_order_relaxed);
+        // The replacement sits under the watermark by construction, so this
+        // recursion terminates after one level.
+        return trimmed.detach();
+      }
+    }
+    return std::move(buf);
+  }
+
   [[nodiscard]] WorkspaceStats stats() const {
     WorkspaceStats s;
     s.hits = hits_.load(std::memory_order_relaxed);
@@ -244,6 +319,8 @@ class Workspace {
     s.bytes_leased = bytes_leased_.load(std::memory_order_relaxed);
     s.donations = donations_.load(std::memory_order_relaxed);
     s.drops = drops_.load(std::memory_order_relaxed);
+    s.splits = splits_.load(std::memory_order_relaxed);
+    s.shrinks = shrinks_.load(std::memory_order_relaxed);
     for (const Shard& sh : shards_) {
       std::lock_guard<std::mutex> lock(sh.mu);
       s.buffers_cached += sh.buffers_cached;
@@ -252,8 +329,9 @@ class Workspace {
     return s;
   }
 
-  /// Zeroes the counters (hits/steals/misses/bytes/donations/drops); the
-  /// cached-buffer gauges keep describing the live pool.
+  /// Zeroes the counters (hits/steals/misses/bytes/donations/drops/splits/
+  /// shrinks, plus every per-domain counter); the cached-buffer gauges keep
+  /// describing the live pool.
   void reset_stats() {
     hits_.store(0, std::memory_order_relaxed);
     steals_.store(0, std::memory_order_relaxed);
@@ -261,6 +339,14 @@ class Workspace {
     bytes_leased_.store(0, std::memory_order_relaxed);
     donations_.store(0, std::memory_order_relaxed);
     drops_.store(0, std::memory_order_relaxed);
+    splits_.store(0, std::memory_order_relaxed);
+    shrinks_.store(0, std::memory_order_relaxed);
+    for (DomainCounters& d : domains_) {
+      d.hits.store(0, std::memory_order_relaxed);
+      d.steals.store(0, std::memory_order_relaxed);
+      d.misses.store(0, std::memory_order_relaxed);
+      d.bytes_leased.store(0, std::memory_order_relaxed);
+    }
   }
 
   /// Frees every cached buffer (outstanding leases are unaffected). Returns
@@ -277,6 +363,31 @@ class Workspace {
       sh.buffers_cached = 0;
     }
     return freed;
+  }
+
+  /// Oversize watermark, in capacity classes: the any_fit fallback refuses
+  /// buffers >= 2^kOversizeClasses times the (rounded-up) request, and
+  /// detach() trims pool-origin buffers that oversized relative to their
+  /// contents. One constant for both rules keeps them consistent: the pool
+  /// never hands out a buffer the detach path would immediately shrink.
+  static constexpr int kOversizeClasses = 6;
+
+  /// Stats-attribution domains (see ScopedStatsDomain). Sized for the
+  /// engine-shard counts the benches sweep; higher domains fold into the
+  /// unattributed bucket.
+  static constexpr std::size_t kMaxDomains = 32;
+
+  /// Per-domain lease counters for the given domain (independent of the
+  /// calling thread's own ScopedStatsDomain scope).
+  [[nodiscard]] WorkspaceStats domain_stats(std::size_t domain) const {
+    WorkspaceStats s;
+    if (domain >= kMaxDomains) return s;
+    const DomainCounters& d = domains_[domain];
+    s.hits = d.hits.load(std::memory_order_relaxed);
+    s.steals = d.steals.load(std::memory_order_relaxed);
+    s.misses = d.misses.load(std::memory_order_relaxed);
+    s.bytes_leased = d.bytes_leased.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
@@ -344,16 +455,19 @@ class Workspace {
   }
 
   /// Pops a buffer of class cls (close fit: up to two classes larger;
-  /// any_fit: smallest available of any larger class) from one shard;
-  /// nullopt when the shard has nothing suitable.
+  /// any_fit: smallest available class under the oversize watermark) from
+  /// one shard; nullopt when the shard has nothing suitable. On the any_fit
+  /// pass, cached buffers found *above* the watermark set `saw_oversize`
+  /// (the caller counts the lease as a split) but stay in the pool.
   template <typename T>
-  std::optional<std::vector<T>> try_acquire(Shard& sh, int cls, bool any_fit) {
+  std::optional<std::vector<T>> try_acquire(Shard& sh, int cls, bool any_fit,
+                                            bool& saw_oversize) {
     std::lock_guard<std::mutex> lock(sh.mu);
     const auto it = sh.pools.find(std::type_index(typeid(T)));
     if (it == sh.pools.end()) return std::nullopt;
     auto& pool = static_cast<Pool<T>&>(*it->second);
-    const int hi =
-        any_fit ? kNumClasses : (cls + 3 > kNumClasses ? kNumClasses : cls + 3);
+    const int want = any_fit ? cls + kOversizeClasses : cls + 3;
+    const int hi = want > kNumClasses ? kNumClasses : want;
     for (int c = cls; c < hi; ++c) {
       auto& bucket = pool.bucket[static_cast<std::size_t>(c)];
       if (bucket.empty()) continue;
@@ -363,16 +477,54 @@ class Workspace {
       sh.bytes_cached -= buf.capacity() * sizeof(T);
       return buf;
     }
+    if (any_fit && !saw_oversize) {
+      for (int c = hi; c < kNumClasses; ++c) {
+        if (!pool.bucket[static_cast<std::size_t>(c)].empty()) {
+          saw_oversize = true;
+          break;
+        }
+      }
+    }
     return std::nullopt;
   }
 
+  struct DomainCounters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> bytes_leased{0};
+  };
+
+  enum class DomainEvent { kHit, kSteal, kMiss };
+
+  void count_domain(DomainEvent e, std::size_t bytes) noexcept {
+    const int d = tls_stats_domain;
+    if (d < 0 || d >= static_cast<int>(kMaxDomains)) return;
+    DomainCounters& dc = domains_[static_cast<std::size_t>(d)];
+    switch (e) {
+      case DomainEvent::kHit:
+        dc.hits.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case DomainEvent::kSteal:
+        dc.steals.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case DomainEvent::kMiss:
+        dc.misses.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    dc.bytes_leased.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
   std::array<Shard, kShards> shards_;
+  std::array<DomainCounters, kMaxDomains> domains_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> bytes_leased_{0};
   std::atomic<std::uint64_t> donations_{0};
   std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> splits_{0};
+  std::atomic<std::uint64_t> shrinks_{0};
 };
 
 template <typename T>
@@ -381,6 +533,14 @@ void Lease<T>::release() {
     ws_->donate(std::move(buf_));
     ws_ = nullptr;
   }
+}
+
+template <typename T>
+std::vector<T> Lease<T>::detach() {
+  if (ws_ == nullptr) return std::move(buf_);
+  Workspace* ws = ws_;
+  ws_ = nullptr;
+  return ws->detach_trimmed(std::move(buf_));
 }
 
 /// The process-wide arena owned by grb::Context (defined in context.cpp).

@@ -166,6 +166,12 @@ class Matrix {
       if (rowptr_.capacity() < static_cast<std::size_t>(nrows) + 1) {
         auto grown = detail::workspace().lease<Index>(nrows + 1);
         grown->assign(rowptr_.begin(), rowptr_.end());
+        // Fill to the full target size before detaching: a detach whose
+        // contents sit far below the leased capacity would be trimmed
+        // (shrink-on-detach), defeating this pool-backed regrowth. The
+        // resize below then keeps the capacity, and the tail loop
+        // overwrites the fill either way.
+        grown->resize(nrows + 1, grown->empty() ? 0 : grown->back());
         detail::workspace().donate(std::move(rowptr_));
         rowptr_ = grown.detach();
       }

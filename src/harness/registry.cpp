@@ -3,6 +3,7 @@
 #include "nmf/nmf_batch.hpp"
 #include "nmf/nmf_incremental.hpp"
 #include "queries/engines.hpp"
+#include "shard/sharded_engines.hpp"
 
 namespace harness {
 
@@ -22,18 +23,51 @@ const std::vector<ToolSpec>& all_tools() {
   static const std::vector<ToolSpec> kTools = [] {
     std::vector<ToolSpec> tools = fig5_tools();
     tools.push_back({"GraphBLAS Incremental+CC", "grb-incremental-cc", 1});
+    for (const ToolSpec& t : sharded_tools(4)) tools.push_back(t);
     return tools;
   }();
   return kTools;
 }
 
+std::vector<ToolSpec> sharded_tools(int shards) {
+  const std::string suffix =
+      " (" + std::to_string(shards) + (shards == 1 ? " shard)" : " shards)");
+  return {
+      {"GraphBLAS Sharded Batch" + suffix, "grb-sharded-batch", shards,
+       shards},
+      {"GraphBLAS Sharded Incremental" + suffix, "grb-sharded-incremental",
+       shards, shards},
+  };
+}
+
 EnginePtr make_engine(const std::string& key, Query q) {
+  if (key.rfind("grb-sharded-", 0) == 0) {
+    // A sharded engine without a shard count would silently pick one; make
+    // the caller say it via the ToolSpec overload (or sharded_tools(N)).
+    throw grb::InvalidValue("sharded engine key '" + key +
+                            "' needs a ToolSpec with a shard count");
+  }
+  ToolSpec spec;
+  spec.key = key;
+  return make_engine(spec, q);
+}
+
+EnginePtr make_engine(const ToolSpec& tool, Query q) {
+  const std::string& key = tool.key;
   if (key == "grb-batch") return queries::make_grb_engine("batch", q);
   if (key == "grb-incremental") {
     return queries::make_grb_engine("incremental", q);
   }
   if (key == "grb-incremental-cc") {
     return queries::make_grb_engine("incremental-cc", q);
+  }
+  if (key == "grb-sharded-batch" || key == "grb-sharded-incremental") {
+    if (tool.shards < 1) {
+      throw grb::InvalidValue("sharded engine needs shards >= 1");
+    }
+    return shard::make_sharded_engine(
+        key == "grb-sharded-batch" ? "sharded-batch" : "sharded-incremental",
+        q, static_cast<std::size_t>(tool.shards));
   }
   if (key == "nmf-batch") return std::make_unique<nmf::NmfBatchEngine>(q);
   if (key == "nmf-incremental") {

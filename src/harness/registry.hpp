@@ -15,22 +15,34 @@ struct ToolSpec {
   /// Report label, e.g. "GraphBLAS Incremental (8 threads)".
   std::string label;
   /// Factory key: "grb-batch", "grb-incremental", "grb-incremental-cc",
-  /// "nmf-batch", "nmf-incremental".
+  /// "grb-sharded-batch", "grb-sharded-incremental", "nmf-batch",
+  /// "nmf-incremental".
   std::string key;
   /// grb thread cap while this tool runs (NMF tools are single-threaded, as
   /// the reference implementation is).
   int threads = 1;
+  /// Shard count for the grb-sharded-* engines (ignored by the others).
+  int shards = 1;
 };
 
 /// The six tools of Fig. 5, in the paper's legend order.
 const std::vector<ToolSpec>& fig5_tools();
 
-/// All known tools (Fig. 5 set + the incremental-CC extension).
+/// All known tools (Fig. 5 set + the incremental-CC extension + the
+/// 4-shard sharded variants).
 const std::vector<ToolSpec>& all_tools();
 
+/// The sharded engine pair at a given shard count, one thread per shard
+/// (the per-shard fan-out is the parallelism axis these tools measure).
+/// fig5_runtime appends these for --shards=N runs.
+std::vector<ToolSpec> sharded_tools(int shards);
+
 /// Instantiates an engine by factory key; throws grb::InvalidValue for
-/// unknown keys.
+/// unknown keys. The grb-sharded-* keys need a shard count and are only
+/// accepted by the ToolSpec overload (the key-only overload throws for
+/// them rather than guessing one).
 EnginePtr make_engine(const std::string& key, Query q);
+EnginePtr make_engine(const ToolSpec& tool, Query q);
 
 /// Looks up a ToolSpec by label or key; throws if absent.
 const ToolSpec& find_tool(const std::string& label_or_key);

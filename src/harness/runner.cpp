@@ -13,7 +13,7 @@ RunResult run_once(const ToolSpec& tool, Query q,
                    const sm::SocialGraph& initial,
                    const std::vector<sm::ChangeSet>& changes) {
   const grb::ThreadGuard guard(tool.threads);
-  EnginePtr engine = make_engine(tool.key, q);
+  EnginePtr engine = make_engine(tool, q);
   RunResult result;
 
   Timer load_timer;

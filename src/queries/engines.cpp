@@ -19,12 +19,9 @@ TopK scan_top_k(const GrbState& s, harness::Query q,
   const bool q1 = q == harness::Query::kQ1;
   const Index n = q1 ? s.num_posts() : s.num_comments();
   for (Index i = 0; i < n; ++i) {
-    const Ranked r{q1 ? s.post_id(i) : s.comment_id(i), scores.at_or(i, 0),
-                   q1 ? s.post_timestamp(i) : s.comment_timestamp(i)};
-    if (top.entries().size() < top.k() ||
-        ranks_before(r, top.entries().back())) {
-      top.offer(r);
-    }
+    top.offer_guarded(
+        Ranked{q1 ? s.post_id(i) : s.comment_id(i), scores.at_or(i, 0),
+               q1 ? s.post_timestamp(i) : s.comment_timestamp(i)});
   }
   return top;
 }
@@ -216,13 +213,9 @@ std::string GrbIncrementalCcEngine::update(const sm::ChangeSet& cs) {
     }
     top_ = TopK(3);
     for (Index c = 0; c < state_.num_comments(); ++c) {
-      const Ranked r{state_.comment_id(c),
-                     per_comment_[c].cc.sum_squared_sizes(),
-                     state_.comment_timestamp(c)};
-      if (top_.entries().size() < top_.k() ||
-          ranks_before(r, top_.entries().back())) {
-        top_.offer(r);
-      }
+      top_.offer_guarded(Ranked{state_.comment_id(c),
+                                per_comment_[c].cc.sum_squared_sizes(),
+                                state_.comment_timestamp(c)});
     }
     return top_.answer();
   }

@@ -39,10 +39,7 @@ std::string TopK::answer() const {
 TopK top_k_of(std::size_t k, const std::vector<Ranked>& all) {
   TopK t(k);
   for (const Ranked& r : all) {
-    // offer() keeps the best k; a pre-filter avoids k² scans on big inputs.
-    if (t.entries().size() < k || ranks_before(r, t.entries().back())) {
-      t.offer(r);
-    }
+    t.offer_guarded(r);
   }
   return t;
 }

@@ -33,6 +33,16 @@ class TopK {
   /// worse than the one it replaces).
   void offer(const Ranked& candidate);
 
+  /// offer() behind the full-scan pre-filter: only candidates that can
+  /// enter the current top-k are inserted, avoiding k² work on big scans.
+  /// Sound only while entries are never replaced by worse ones — i.e. for
+  /// building a fresh answer, not for maintaining one across updates.
+  void offer_guarded(const Ranked& candidate) {
+    if (entries_.size() < k_ || ranks_before(candidate, entries_.back())) {
+      offer(candidate);
+    }
+  }
+
   /// Current entries, best first (at most k).
   [[nodiscard]] const std::vector<Ranked>& entries() const noexcept {
     return entries_;

@@ -1,0 +1,26 @@
+#include "shard/partitioner.hpp"
+
+#include "grb/types.hpp"
+#include "support/rng.hpp"
+
+namespace shard {
+
+Partitioner::Partitioner(std::size_t num_shards, Scheme scheme)
+    : num_shards_(num_shards), scheme_(scheme) {
+  if (num_shards_ == 0) {
+    throw grb::InvalidValue("Partitioner: shard count must be >= 1");
+  }
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  return grbsm::support::SplitMix64(x).next();
+}
+
+std::size_t Partitioner::shard_of_comment(sm::NodeId id) const noexcept {
+  if (num_shards_ == 1) return 0;
+  const std::uint64_t key =
+      scheme_ == Scheme::kHash ? splitmix64(id) : static_cast<std::uint64_t>(id);
+  return static_cast<std::size_t>(key % num_shards_);
+}
+
+}  // namespace shard

@@ -1,0 +1,52 @@
+// Partitioner: the sharding subsystem's placement function. Comments are the
+// partitioned entity class — each comment (and with it its likes row and its
+// contribution to its root post's Q1 score) lives on exactly one shard.
+// Users, posts, and the friendship matrix are *replicated* on every shard:
+// Q2 scores a comment on the friendship subgraph of its likers, so the owner
+// shard needs arbitrary friendship rows, and replicating users/posts keeps
+// the dense user/post id spaces identical across shards (every shard assigns
+// dense ids in the same arrival order), which is what makes the Q1 merge a
+// plain elementwise sum and the per-shard id remap a comment-only concern.
+//
+// Two placement schemes:
+//   kHash  — splitmix64 of the external comment id, modulo shard count.
+//            Balanced regardless of id clustering; the default.
+//   kRange — external comment id modulo shard count (round-robin over the
+//            id space). Deterministic contiguous-id striping, useful for
+//            reasoning about boundary behaviour in tests.
+//
+// Placement depends only on (external id, shard count, scheme) — never on
+// arrival order — so routing a change stream is stable across runs and
+// engines, a prerequisite for the byte-identical differential guarantee.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/social_graph.hpp"
+
+namespace shard {
+
+class Partitioner {
+ public:
+  enum class Scheme { kHash, kRange };
+
+  explicit Partitioner(std::size_t num_shards, Scheme scheme = Scheme::kHash);
+
+  [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
+  [[nodiscard]] Scheme scheme() const noexcept { return scheme_; }
+
+  /// Owner shard of a comment (by external id). Users and posts have no
+  /// owner — they are replicated on every shard.
+  [[nodiscard]] std::size_t shard_of_comment(sm::NodeId id) const noexcept;
+
+ private:
+  std::size_t num_shards_;
+  Scheme scheme_;
+};
+
+/// splitmix64 finaliser — the mixing function behind Scheme::kHash, exposed
+/// for tests that want to predict placements.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+}  // namespace shard

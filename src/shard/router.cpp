@@ -1,0 +1,129 @@
+#include "shard/router.hpp"
+
+#include <string>
+#include <variant>
+
+#include "grb/types.hpp"
+
+namespace shard {
+
+namespace {
+[[noreturn]] void unknown_comment(sm::NodeId id) {
+  throw grb::InvalidValue("ChangeSetRouter: unknown comment (id " +
+                          std::to_string(id) + ")");
+}
+}  // namespace
+
+std::size_t ChangeSetRouter::shard_of_comment(sm::NodeId id) const {
+  if (!comment_root_.contains(id)) unknown_comment(id);
+  return partitioner_.shard_of_comment(id);
+}
+
+sm::NodeId ChangeSetRouter::root_post_of(sm::NodeId comment) const {
+  const auto it = comment_root_.find(comment);
+  if (it == comment_root_.end()) unknown_comment(comment);
+  return it->second;
+}
+
+std::vector<sm::SocialGraph> ChangeSetRouter::split_graph(
+    const sm::SocialGraph& g) {
+  const std::size_t n = num_shards();
+  std::vector<sm::SocialGraph> parts(n);
+  // A re-load starts a fresh comment registry; stale mappings from a
+  // previous graph would mis-route (or fail to reject) ids it never had.
+  comment_root_.clear();
+
+  // Replicated entities first, in global dense order, so every shard assigns
+  // the same dense user/post ids as the unsharded state does.
+  for (const sm::User& u : g.users()) {
+    for (auto& p : parts) p.add_user(u.id);
+  }
+  for (const sm::Post& p : g.posts()) {
+    for (auto& part : parts) part.add_post(p.id, p.timestamp);
+  }
+
+  // Comments land on their owner shard, re-parented to the root post (the
+  // true parent may be a comment on another shard; only the root matters to
+  // the queries). Likes follow their comment.
+  for (const sm::Comment& c : g.comments()) {
+    const sm::NodeId root_id = g.post(c.root_post).id;
+    comment_root_.emplace(c.id, root_id);
+    sm::SocialGraph& owner = parts[partitioner_.shard_of_comment(c.id)];
+    owner.add_comment(c.id, c.timestamp, /*parent_is_comment=*/false, root_id);
+    for (const sm::DenseId liker : c.likers) {
+      owner.add_likes_unchecked(g.user(liker).id, c.id);
+    }
+  }
+
+  // Friendships are replicated; emit each undirected pair once.
+  for (sm::DenseId u = 0; u < static_cast<sm::DenseId>(g.num_users()); ++u) {
+    for (const sm::DenseId v : g.user(u).friends) {
+      if (u < v) {
+        for (auto& p : parts) {
+          p.add_friendship_unchecked(g.user(u).id, g.user(v).id);
+        }
+      }
+    }
+  }
+  return parts;
+}
+
+std::vector<sm::ChangeSet> ChangeSetRouter::route(const sm::ChangeSet& cs) {
+  const std::size_t n = num_shards();
+  std::vector<sm::ChangeSet> parts(n);
+  const auto broadcast = [&](const sm::ChangeOp& op) {
+    for (auto& p : parts) p.ops.push_back(op);
+  };
+
+  // Comments created by this set are staged here and merged into the
+  // registry only once the whole set routed: a throw mid-set (unknown
+  // entity) must not leave phantom registrations for comments no shard
+  // ever applied. Lookups check the stage first so later ops in the same
+  // set can reference them.
+  std::unordered_map<sm::NodeId, sm::NodeId> staged;
+  const auto staged_root = [&](sm::NodeId comment) {
+    const auto it = staged.find(comment);
+    if (it != staged.end()) return it->second;
+    return root_post_of(comment);
+  };
+  const auto staged_shard = [&](sm::NodeId comment) {
+    if (!staged.contains(comment) && !comment_root_.contains(comment)) {
+      unknown_comment(comment);
+    }
+    return partitioner_.shard_of_comment(comment);
+  };
+
+  for (const sm::ChangeOp& op : cs.ops) {
+    std::visit(
+        [&](const auto& o) {
+          using T = std::decay_t<decltype(o)>;
+          if constexpr (std::is_same_v<T, sm::AddUser> ||
+                        std::is_same_v<T, sm::AddPost> ||
+                        std::is_same_v<T, sm::AddFriendship> ||
+                        std::is_same_v<T, sm::RemoveFriendship>) {
+            broadcast(op);
+          } else if constexpr (std::is_same_v<T, sm::AddComment>) {
+            // Resolve the root post up front (the parent comment may be
+            // foreign to the owner shard).
+            const sm::NodeId root =
+                o.parent_is_comment ? staged_root(o.parent) : o.parent;
+            staged.emplace(o.id, root);
+            sm::AddComment rewritten = o;
+            rewritten.parent_is_comment = false;
+            rewritten.parent = root;
+            parts[partitioner_.shard_of_comment(o.id)].ops.emplace_back(
+                rewritten);
+          } else if constexpr (std::is_same_v<T, sm::AddLikes>) {
+            parts[staged_shard(o.comment)].ops.push_back(op);
+          } else {
+            static_assert(std::is_same_v<T, sm::RemoveLikes>);
+            parts[staged_shard(o.comment)].ops.push_back(op);
+          }
+        },
+        op);
+  }
+  comment_root_.merge(staged);
+  return parts;
+}
+
+}  // namespace shard

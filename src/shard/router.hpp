@@ -1,0 +1,68 @@
+// ChangeSetRouter: splits the initial graph and every subsequent
+// sm::ChangeSet into per-shard pieces under the Partitioner's placement.
+//
+// Routing rules (one pass over the ops, relative order preserved):
+//   AddUser / AddPost / AddFriendship / RemoveFriendship — broadcast to all
+//     shards (users, posts and the friendship matrix are replicated).
+//   AddComment — rewritten to hang directly off its *root post* (the router
+//     resolves comment parents through a global comment → root-post map,
+//     since the parent comment may live on a different shard) and sent to
+//     the owner shard only.
+//   AddLikes / RemoveLikes — sent to the shard owning the comment.
+//
+// Netting is preserved: every op for a given likes edge routes to the one
+// shard owning the comment, and friendship ops reach every shard, both in
+// the original order — so each shard's GrbState::apply_change_set nets
+// exactly the global net effect restricted to that shard. Shards untouched
+// by a change set receive an empty ChangeSet (engines still step them, so
+// per-shard answers stay aligned with the step index).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "model/change.hpp"
+#include "model/social_graph.hpp"
+#include "shard/partitioner.hpp"
+
+namespace shard {
+
+class ChangeSetRouter {
+ public:
+  explicit ChangeSetRouter(Partitioner partitioner)
+      : partitioner_(partitioner) {}
+
+  [[nodiscard]] const Partitioner& partitioner() const noexcept {
+    return partitioner_;
+  }
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return partitioner_.num_shards();
+  }
+
+  /// Splits the initial graph into one SocialGraph per shard (users/posts/
+  /// friendships replicated, comments+likes on their owner shard) and
+  /// registers every comment's root post for later parent resolution.
+  [[nodiscard]] std::vector<sm::SocialGraph> split_graph(
+      const sm::SocialGraph& g);
+
+  /// Splits one change set into per-shard change sets (index = shard id).
+  /// New comments are registered as they stream through, so a comment may
+  /// be referenced (as a parent or like target) later in the same set.
+  [[nodiscard]] std::vector<sm::ChangeSet> route(const sm::ChangeSet& cs);
+
+  /// Owner shard of a known comment; throws grb::InvalidValue for ids the
+  /// router has never seen.
+  [[nodiscard]] std::size_t shard_of_comment(sm::NodeId id) const;
+
+  /// Root post of a known comment (external ids).
+  [[nodiscard]] sm::NodeId root_post_of(sm::NodeId comment) const;
+
+ private:
+  Partitioner partitioner_;
+  /// comment external id -> root post external id, across all shards. The
+  /// router is the only place that still sees the global comment tree; the
+  /// per-shard states never need a cross-shard parent lookup.
+  std::unordered_map<sm::NodeId, sm::NodeId> comment_root_;
+};
+
+}  // namespace shard

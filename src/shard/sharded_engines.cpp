@@ -1,0 +1,200 @@
+#include "shard/sharded_engines.hpp"
+
+#include <algorithm>
+
+#include "queries/q1.hpp"
+#include "queries/q2.hpp"
+
+namespace shard {
+
+namespace {
+
+using queries::GrbState;
+using queries::Ranked;
+using queries::TopK;
+using U64 = std::uint64_t;
+
+/// Q1 merge: walk the (replicated, identical across shards) dense post id
+/// space in order and rank each post by the sum of the per-shard partial
+/// scores — the same candidate sequence and total order as the unsharded
+/// full scan.
+TopK merged_q1_scan(const ShardedGrbState& state,
+                    const std::vector<grb::Vector<U64>>& scores) {
+  TopK top(3);
+  const GrbState& s0 = state.shard(0);
+  const Index num_posts = s0.num_posts();
+  for (Index p = 0; p < num_posts; ++p) {
+    U64 total = 0;
+    for (const auto& partial : scores) total += partial.at_or(p, 0);
+    top.offer_guarded(Ranked{s0.post_id(p), total, s0.post_timestamp(p)});
+  }
+  return top;
+}
+
+/// Q2 merge: every comment lives on exactly one shard with its full score,
+/// so the global top-k is the k-best of all per-shard candidates (zero-score
+/// comments included — they still rank by recency). Offer order across
+/// shards is irrelevant: ranks_before is a strict total order over distinct
+/// comment ids.
+TopK merged_q2_scan(const ShardedGrbState& state,
+                    const std::vector<grb::Vector<U64>>& scores) {
+  TopK top(3);
+  for (std::size_t s = 0; s < state.num_shards(); ++s) {
+    const GrbState& st = state.shard(s);
+    const Index num_comments = st.num_comments();
+    for (Index c = 0; c < num_comments; ++c) {
+      top.offer_guarded(Ranked{st.comment_id(c), scores[s].at_or(c, 0),
+                               st.comment_timestamp(c)});
+    }
+  }
+  return top;
+}
+
+/// Per-shard batch scoring (Alg. 1 / Fig. 4b upper half on each shard's
+/// matrices), fanned out across shards.
+std::vector<grb::Vector<U64>> batch_scores(harness::Query q,
+                                           ShardedGrbState& state) {
+  std::vector<grb::Vector<U64>> scores(state.num_shards(),
+                                       grb::Vector<U64>(0));
+  state.for_each_shard([&](std::size_t s) {
+    scores[s] = q == harness::Query::kQ1
+                    ? queries::q1_batch_scores(state.shard(s))
+                    : queries::q2_batch_scores(state.shard(s));
+  });
+  return scores;
+}
+
+void recycle_all(std::vector<grb::Vector<U64>>& scores) {
+  for (auto& v : scores) grb::recycle(std::move(v));
+  scores.clear();
+}
+
+}  // namespace
+
+// --- GrbShardedBatchEngine ---------------------------------------------------
+
+void GrbShardedBatchEngine::load(const sm::SocialGraph& g) { state_.load(g); }
+
+std::string GrbShardedBatchEngine::evaluate() {
+  auto scores = batch_scores(query_, state_);
+  TopK top = query_ == harness::Query::kQ1 ? merged_q1_scan(state_, scores)
+                                           : merged_q2_scan(state_, scores);
+  recycle_all(scores);
+  return top.answer();
+}
+
+std::string GrbShardedBatchEngine::initial() { return evaluate(); }
+
+std::string GrbShardedBatchEngine::update(const sm::ChangeSet& cs) {
+  // Batch semantics: apply (the per-shard deltas are discarded — their
+  // destructors recycle the storage) and fully reevaluate.
+  (void)state_.apply_change_set(cs);
+  return evaluate();
+}
+
+// --- GrbShardedIncrementalEngine ---------------------------------------------
+
+GrbShardedIncrementalEngine::~GrbShardedIncrementalEngine() {
+  recycle_all(scores_);
+}
+
+void GrbShardedIncrementalEngine::load(const sm::SocialGraph& g) {
+  state_.load(g);
+}
+
+std::string GrbShardedIncrementalEngine::initial() {
+  recycle_all(scores_);
+  scores_ = batch_scores(query_, state_);
+  top_ = query_ == harness::Query::kQ1 ? merged_q1_scan(state_, scores_)
+                                       : merged_q2_scan(state_, scores_);
+  return top_.answer();
+}
+
+std::string GrbShardedIncrementalEngine::update(const sm::ChangeSet& cs) {
+  std::vector<queries::GrbDelta> deltas = state_.apply_change_set(cs);
+
+  // Per-shard delta maintenance, fanned out. Each shard updates its own
+  // maintained vector in place and reports the entries whose value changed.
+  std::vector<grb::Vector<U64>> changed(state_.num_shards(),
+                                        grb::Vector<U64>(0));
+  state_.for_each_shard([&](std::size_t s) {
+    changed[s] = query_ == harness::Query::kQ1
+                     ? queries::q1_incremental_update(state_.shard(s),
+                                                      deltas[s], scores_[s])
+                     : queries::q2_incremental_update(state_.shard(s),
+                                                      deltas[s], scores_[s]);
+  });
+
+  const bool removals =
+      std::any_of(deltas.begin(), deltas.end(),
+                  [](const queries::GrbDelta& d) { return d.has_removals(); });
+
+  if (query_ == harness::Query::kQ1) {
+    if (removals) {
+      // Scores are no longer monotone: re-rank from the maintained partials
+      // (an O(posts · shards) scan, no reevaluation) — mirroring the
+      // unsharded engine's removal path.
+      top_ = merged_q1_scan(state_, scores_);
+    } else {
+      // Insert-only fast path. A post's total changed iff some shard's
+      // partial changed (partials only grow), so the union of per-shard
+      // changed sets is exactly the unsharded changed set; new posts are
+      // replicated, so any shard's list (shard 0's) covers them.
+      std::vector<Index> candidates;
+      for (const auto& ch : changed) {
+        const auto ci = ch.indices();
+        candidates.insert(candidates.end(), ci.begin(), ci.end());
+      }
+      candidates.insert(candidates.end(), deltas[0].new_posts.begin(),
+                        deltas[0].new_posts.end());
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      const GrbState& s0 = state_.shard(0);
+      for (const Index p : candidates) {
+        U64 total = 0;
+        for (const auto& partial : scores_) total += partial.at_or(p, 0);
+        top_.offer(Ranked{s0.post_id(p), total, s0.post_timestamp(p)});
+      }
+    }
+  } else {
+    if (removals) {
+      top_ = merged_q2_scan(state_, scores_);
+    } else {
+      // Insert-only fast path: merge the previous top-k with every comment
+      // whose score changed plus the new zero-score comments, shard by
+      // shard (comment sets are disjoint, offers commute).
+      for (std::size_t s = 0; s < state_.num_shards(); ++s) {
+        const GrbState& st = state_.shard(s);
+        const auto ci = changed[s].indices();
+        const auto cv = changed[s].values();
+        for (std::size_t k = 0; k < ci.size(); ++k) {
+          top_.offer(Ranked{st.comment_id(ci[k]), cv[k],
+                            st.comment_timestamp(ci[k])});
+        }
+        for (const Index c : deltas[s].new_comments) {
+          top_.offer(Ranked{st.comment_id(c), scores_[s].at_or(c, 0),
+                            st.comment_timestamp(c)});
+        }
+      }
+    }
+  }
+  recycle_all(changed);
+  return top_.answer();
+}
+
+// --- factory -----------------------------------------------------------------
+
+harness::EnginePtr make_sharded_engine(const std::string& variant,
+                                       harness::Query q,
+                                       std::size_t num_shards) {
+  if (variant == "sharded-batch") {
+    return std::make_unique<GrbShardedBatchEngine>(q, num_shards);
+  }
+  if (variant == "sharded-incremental") {
+    return std::make_unique<GrbShardedIncrementalEngine>(q, num_shards);
+  }
+  throw grb::InvalidValue("unknown sharded engine variant: " + variant);
+}
+
+}  // namespace shard

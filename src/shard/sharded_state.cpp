@@ -1,0 +1,61 @@
+#include "shard/sharded_state.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "grb/detail/parallel.hpp"
+
+namespace shard {
+
+void ShardedGrbState::for_each_shard(
+    const std::function<void(std::size_t)>& f) {
+  const std::size_t n = num_shards();
+  const auto run_one = [&](std::size_t s) {
+    grb::detail::ScopedStatsDomain domain(static_cast<int>(s));
+    f(s);
+  };
+#ifdef _OPENMP
+  const int team = static_cast<int>(
+      std::min<std::size_t>(
+          n, static_cast<std::size_t>(grb::detail::effective_threads())));
+  if (team > 1) {
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    const auto ni = static_cast<std::int64_t>(n);
+#pragma omp parallel for num_threads(team) schedule(dynamic, 1)
+    for (std::int64_t s = 0; s < ni; ++s) {
+      try {
+        run_one(static_cast<std::size_t>(s));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+#endif
+  for (std::size_t s = 0; s < n; ++s) run_one(s);
+}
+
+void ShardedGrbState::load(const sm::SocialGraph& g) {
+  const std::vector<sm::SocialGraph> parts = router_.split_graph(g);
+  states_.assign(num_shards(), queries::GrbState{});
+  for_each_shard([&](std::size_t s) {
+    states_[s] = queries::GrbState::from_graph(parts[s]);
+  });
+}
+
+std::vector<queries::GrbDelta> ShardedGrbState::apply_change_set(
+    const sm::ChangeSet& cs) {
+  const std::vector<sm::ChangeSet> parts = router_.route(cs);
+  std::vector<queries::GrbDelta> deltas(num_shards());
+  for_each_shard([&](std::size_t s) {
+    deltas[s] = states_[s].apply_change_set(parts[s]);
+  });
+  return deltas;
+}
+
+}  // namespace shard

@@ -1,0 +1,57 @@
+// ShardedGrbState: N independent per-shard GrbStates behind one
+// ChangeSetRouter. Loading splits the initial graph; applying a change set
+// routes it and applies every per-shard piece in parallel (one OpenMP
+// worker per shard, each attributing its arena leases to its shard's stats
+// domain). The per-shard states never communicate: comments (and their
+// likes) are disjoint across shards, users/posts/friendships are replicated
+// with identical dense ids everywhere, so the engines above merge results
+// with plain sums (Q1) and a top-k union (Q2).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "queries/grb_state.hpp"
+#include "shard/router.hpp"
+
+namespace shard {
+
+class ShardedGrbState {
+ public:
+  explicit ShardedGrbState(std::size_t num_shards,
+                           Partitioner::Scheme scheme = Partitioner::Scheme::kHash)
+      : router_(Partitioner(num_shards, scheme)) {}
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return router_.num_shards();
+  }
+  [[nodiscard]] const ChangeSetRouter& router() const noexcept {
+    return router_;
+  }
+  [[nodiscard]] const queries::GrbState& shard(std::size_t s) const {
+    return states_.at(s);
+  }
+
+  /// Splits `g` and builds every shard's matrices (parallel across shards).
+  void load(const sm::SocialGraph& g);
+
+  /// Routes `cs` and applies each piece to its shard (parallel across
+  /// shards). Returns one GrbDelta per shard, index-aligned with shard ids;
+  /// shards the set never touched get an empty delta.
+  [[nodiscard]] std::vector<queries::GrbDelta> apply_change_set(
+      const sm::ChangeSet& cs);
+
+  /// Runs f(shard_id) for every shard — in parallel when the thread budget
+  /// allows — with the shard's arena stats domain active. The engines run
+  /// their per-shard reevaluations through this so shard work is always
+  /// attributed. f must only touch shard-local state; exceptions are
+  /// collected and the first one rethrown after the join.
+  void for_each_shard(const std::function<void(std::size_t)>& f);
+
+ private:
+  ChangeSetRouter router_;
+  std::vector<queries::GrbState> states_;
+};
+
+}  // namespace shard

@@ -62,15 +62,100 @@ TEST(Workspace, GrownBufferReturnsAtItsNewCapacity) {
   EXPECT_EQ(ws.stats().misses, 1u);  // only the original lease
 }
 
-TEST(Workspace, SmallRequestFallsBackToAnyLargerBuffer) {
-  // Buffers migrate upward through growth; a tiny request must still reuse
-  // a much larger cached buffer rather than allocating.
+TEST(Workspace, SmallRequestFallsBackToAModeratelyLargerBuffer) {
+  // Buffers migrate upward through growth; a small request reuses a larger
+  // cached buffer as long as it sits under the oversize watermark (2^6×
+  // the rounded-up request).
   Workspace ws;
-  { auto lease = ws.lease<int>(1 << 16); }
-  auto tiny = ws.lease<int>(8);
-  EXPECT_GE(tiny->capacity(), 1u << 16);
+  { auto lease = ws.lease<int>(1 << 10); }
+  auto small = ws.lease<int>(64);  // class 6; cached class 10 is within 6
+  EXPECT_GE(small->capacity(), 1u << 10);
   EXPECT_EQ(ws.stats().hits, 1u);
   EXPECT_EQ(ws.stats().misses, 1u);
+  EXPECT_EQ(ws.stats().splits, 0u);
+}
+
+TEST(Workspace, HighWatermarkKeepsHugeBuffersWholeAndCountsSplit) {
+  // A tiny request must NOT consume a vastly larger cached buffer: the big
+  // buffer stays whole for the big requests it fits, and the request takes
+  // a right-sized allocation instead — counted as both a split and a miss,
+  // so zero-miss gates stay honest.
+  Workspace ws;
+  { auto lease = ws.lease<int>(1 << 16); }
+  EXPECT_EQ(ws.stats().buffers_cached, 1u);
+  {
+    auto tiny = ws.lease<int>(8);
+    EXPECT_LT(tiny->capacity(), 1u << 16);  // not the cached giant
+    EXPECT_GE(tiny->capacity(), 8u);
+  }
+  const auto s = ws.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 2u);   // the original fill + the refused tiny lease
+  EXPECT_EQ(s.splits, 1u);
+  EXPECT_EQ(s.buffers_cached, 2u);  // giant untouched + tiny donated back
+  // The split-allocated buffer now populates the small class: the same
+  // request hits on the next cycle (the "returned tail", one cycle later).
+  auto again = ws.lease<int>(8);
+  EXPECT_EQ(ws.stats().hits, 1u);
+  EXPECT_EQ(ws.stats().splits, 1u);
+}
+
+TEST(Workspace, DetachShrinksOversizedPoolBuffer) {
+  // A pool-origin buffer detached with contents far below its capacity is
+  // trimmed on the way out: the caller gets a right-sized copy and the big
+  // buffer returns to the pool instead of staying pinned in a small
+  // long-lived container.
+  Workspace ws;
+  std::vector<int> out;
+  {
+    auto lease = ws.lease<int>(1 << 16);
+    for (int i = 0; i < 10; ++i) lease->push_back(i);
+    out = lease.detach();
+  }
+  EXPECT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  EXPECT_LT(out.capacity(), 1u << 16);
+  const auto s = ws.stats();
+  EXPECT_EQ(s.shrinks, 1u);
+  EXPECT_EQ(s.buffers_cached, 1u);  // the big buffer, donated back
+  EXPECT_GE(s.bytes_cached, (std::size_t{1} << 16) * sizeof(int));
+  // The reclaimed giant serves the next big request from cache.
+  auto big = ws.lease<int>(1 << 16);
+  EXPECT_EQ(ws.stats().hits, 1u);
+}
+
+TEST(Workspace, DetachKeepsCloseFitBuffersUntrimmed) {
+  Workspace ws;
+  std::vector<int> out;
+  {
+    auto lease = ws.lease<int>(1000);
+    lease->assign(1000, 3);
+    out = lease.detach();
+  }
+  EXPECT_EQ(out.size(), 1000u);
+  EXPECT_EQ(ws.stats().shrinks, 0u);
+  EXPECT_EQ(ws.stats().buffers_cached, 0u);  // nothing donated
+}
+
+TEST(Workspace, DomainCountersAttributePerShardLeases) {
+  Workspace ws;
+  {
+    grb::detail::ScopedStatsDomain domain(3);
+    { auto lease = ws.lease<double>(256); }  // miss, attributed to domain 3
+    { auto lease = ws.lease<double>(256); }  // hit, attributed to domain 3
+  }
+  { auto lease = ws.lease<double>(256); }  // unattributed
+  const auto d3 = ws.domain_stats(3);
+  EXPECT_EQ(d3.misses, 1u);
+  EXPECT_EQ(d3.hits, 1u);
+  EXPECT_EQ(d3.leases(), 2u);
+  EXPECT_EQ(d3.bytes_leased, 2u * 256u * sizeof(double));
+  EXPECT_EQ(ws.domain_stats(0).leases(), 0u);
+  // Global counters cover all three leases.
+  EXPECT_EQ(ws.stats().leases(), 3u);
+  EXPECT_DOUBLE_EQ(ws.domain_stats(7).hit_rate(), 1.0);  // idle domain
+  ws.reset_stats();
+  EXPECT_EQ(ws.domain_stats(3).leases(), 0u);
 }
 
 TEST(Workspace, TeamLeaseAndTeamResize) {
@@ -189,6 +274,20 @@ TEST(StorageReuse, VectorReleaseAdoptRoundtrip) {
   const auto back = grb::Vector<double>::adopt_storage(
       10, std::move(st), grb::CsrCheck::kAlways);
   EXPECT_EQ(back, original);
+}
+
+TEST(StorageReuse, MatrixRowGrowthIsNotDefeatedByShrinkOnDetach) {
+  // Matrix::resize regrows rowptr through a pool lease sized to the new row
+  // count; the lease must leave the arena untrimmed (it is about to be
+  // resized up to exactly that capacity), or the regrowth falls back to a
+  // plain realloc outside the pool.
+  auto m = grb::Matrix<double>::build(64, 4, {{0, 1, 1.5}, {63, 2, 2.5}});
+  const auto before = grb::workspace_stats();
+  m.resize(100000, 4);  // rows grow by >= 2^6x: the shrink rule would bite
+  const auto after = grb::workspace_stats();
+  EXPECT_EQ(after.shrinks, before.shrinks);
+  EXPECT_EQ(m.nrows(), 100000u);
+  EXPECT_EQ(m.nvals(), 2u);
 }
 
 TEST(StorageReuse, RecycleDonatesToTheContextArena) {

@@ -71,7 +71,7 @@ TEST(DegenerateInputs, EmptyGraphAllEngines) {
   const sm::SocialGraph empty;
   for (const auto& tool : harness::all_tools()) {
     for (const Query q : {Query::kQ1, Query::kQ2}) {
-      auto engine = harness::make_engine(tool.key, q);
+      auto engine = harness::make_engine(tool, q);
       engine->load(empty);
       EXPECT_EQ(engine->initial(), "") << tool.label;
       EXPECT_EQ(engine->update(sm::ChangeSet{}), "") << tool.label;
@@ -87,11 +87,11 @@ TEST(DegenerateInputs, GraphBuiltEntirelyThroughUpdates) {
   cs.ops.push_back(sm::AddComment{20, 200, false, 10, 1});
   cs.ops.push_back(sm::AddLikes{1, 20});
   for (const auto& tool : harness::all_tools()) {
-    auto q1 = harness::make_engine(tool.key, Query::kQ1);
+    auto q1 = harness::make_engine(tool, Query::kQ1);
     q1->load(sm::SocialGraph{});
     q1->initial();
     EXPECT_EQ(q1->update(cs), "10") << tool.label;  // 10·1 + 1 = 11
-    auto q2 = harness::make_engine(tool.key, Query::kQ2);
+    auto q2 = harness::make_engine(tool, Query::kQ2);
     q2->load(sm::SocialGraph{});
     q2->initial();
     EXPECT_EQ(q2->update(cs), "20") << tool.label;  // single liker: 1
@@ -102,7 +102,7 @@ TEST(DegenerateInputs, SinglePostNoUsers) {
   sm::SocialGraph g;
   g.add_post(7, 0);
   for (const auto& tool : harness::all_tools()) {
-    auto engine = harness::make_engine(tool.key, Query::kQ1);
+    auto engine = harness::make_engine(tool, Query::kQ1);
     engine->load(g);
     EXPECT_EQ(engine->initial(), "7") << tool.label;
   }

@@ -28,7 +28,7 @@ TEST(Registry, UnknownKeysThrow) {
 
 TEST(Registry, EveryToolInstantiates) {
   for (const auto& t : harness::all_tools()) {
-    const auto e = harness::make_engine(t.key, Query::kQ2);
+    const auto e = harness::make_engine(t, Query::kQ2);
     ASSERT_NE(e, nullptr);
     EXPECT_FALSE(e->name().empty());
   }

@@ -118,7 +118,7 @@ class PaperExampleAllEngines
 TEST_P(PaperExampleAllEngines, AnswersMatchPaper) {
   const auto& tool = harness::find_tool(GetParam());
   for (const Query q : {Query::kQ1, Query::kQ2}) {
-    auto engine = harness::make_engine(tool.key, q);
+    auto engine = harness::make_engine(tool, q);
     engine->load(initial_graph());
     const std::string initial = engine->initial();
     const std::string updated = engine->update(update_change_set());
@@ -135,6 +135,8 @@ TEST_P(PaperExampleAllEngines, AnswersMatchPaper) {
 INSTANTIATE_TEST_SUITE_P(AllTools, PaperExampleAllEngines,
                          ::testing::Values("grb-batch", "grb-incremental",
                                            "grb-incremental-cc", "nmf-batch",
-                                           "nmf-incremental"));
+                                           "nmf-incremental",
+                                           "grb-sharded-batch",
+                                           "grb-sharded-incremental"));
 
 }  // namespace

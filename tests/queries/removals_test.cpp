@@ -142,7 +142,7 @@ TEST(EngineRemovals, DemotedLeaderFallsOutOfTopK) {
   demote.ops.push_back(sm::RemoveLikes{103, 10});
 
   for (const auto& tool : harness::all_tools()) {
-    auto engine = harness::make_engine(tool.key, Query::kQ2);
+    auto engine = harness::make_engine(tool, Query::kQ2);
     engine->load(g);
     EXPECT_EQ(engine->initial(), "10|11|12") << tool.label;
     // After demotion c10 scores 1²+1² = 2: new order 11 (3), 12 (2), then

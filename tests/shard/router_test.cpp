@@ -1,0 +1,258 @@
+// Unit tests for the sharding subsystem's placement and routing layer:
+// Partitioner determinism and boundary behaviour, ChangeSetRouter splitting
+// (broadcast vs owner routing, parent rewriting, same-set references,
+// netting preservation, empty per-shard sets), and split_graph invariants
+// (replicated users/posts/friendships, partitioned comments/likes).
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "grb/types.hpp"
+#include "shard/router.hpp"
+#include "shard/sharded_state.hpp"
+
+namespace {
+
+using shard::ChangeSetRouter;
+using shard::Partitioner;
+
+sm::SocialGraph tiny_graph() {
+  // Users 1..4, posts 100/101, comments 200 (under 100), 201 (under comment
+  // 200 — root 100), 202 (under 101). Likes and a friendship on top.
+  sm::SocialGraph g;
+  for (sm::NodeId u : {1, 2, 3, 4}) g.add_user(u);
+  g.add_post(100, 1000);
+  g.add_post(101, 1001);
+  g.add_comment(200, 1002, /*parent_is_comment=*/false, 100);
+  g.add_comment(201, 1003, /*parent_is_comment=*/true, 200);
+  g.add_comment(202, 1004, /*parent_is_comment=*/false, 101);
+  g.add_likes(1, 200);
+  g.add_likes(2, 200);
+  g.add_likes(3, 202);
+  g.add_friendship(1, 2);
+  g.add_friendship(3, 4);
+  return g;
+}
+
+TEST(Partitioner, SingleShardOwnsEverything) {
+  const Partitioner p(1);
+  for (sm::NodeId id : {0ULL, 1ULL, 7ULL, 123456789ULL}) {
+    EXPECT_EQ(p.shard_of_comment(id), 0u);
+  }
+}
+
+TEST(Partitioner, ZeroShardsIsRejected) {
+  EXPECT_THROW(Partitioner(0), grb::InvalidValue);
+}
+
+TEST(Partitioner, RangeSchemeStripesAdjacentIdsAcrossBoundaries) {
+  // kRange is id mod shards: consecutive ids land on consecutive shards, so
+  // the partition boundary between id k*N-1 and k*N wraps to shard 0.
+  const Partitioner p(4, Partitioner::Scheme::kRange);
+  EXPECT_EQ(p.shard_of_comment(0), 0u);
+  EXPECT_EQ(p.shard_of_comment(3), 3u);   // last id of the stripe
+  EXPECT_EQ(p.shard_of_comment(4), 0u);   // first id past the boundary
+  EXPECT_EQ(p.shard_of_comment(7), 3u);
+  EXPECT_EQ(p.shard_of_comment(8), 0u);
+}
+
+TEST(Partitioner, HashSchemeIsDeterministicAndInRange) {
+  const Partitioner a(7, Partitioner::Scheme::kHash);
+  const Partitioner b(7, Partitioner::Scheme::kHash);
+  for (sm::NodeId id = 0; id < 1000; ++id) {
+    const std::size_t s = a.shard_of_comment(id);
+    EXPECT_LT(s, 7u);
+    EXPECT_EQ(s, b.shard_of_comment(id));
+    EXPECT_EQ(s, shard::splitmix64(id) % 7);
+  }
+}
+
+TEST(Partitioner, HashSchemeTouchesEveryShard) {
+  const Partitioner p(7, Partitioner::Scheme::kHash);
+  std::vector<int> hit(7, 0);
+  for (sm::NodeId id = 0; id < 200; ++id) hit[p.shard_of_comment(id)]++;
+  for (int h : hit) EXPECT_GT(h, 0);
+}
+
+TEST(Router, SplitGraphReplicatesUsersPostsFriendships) {
+  ChangeSetRouter router{Partitioner(3, Partitioner::Scheme::kRange)};
+  const auto parts = router.split_graph(tiny_graph());
+  ASSERT_EQ(parts.size(), 3u);
+  std::size_t total_comments = 0;
+  std::size_t total_likes = 0;
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.num_users(), 4u);
+    EXPECT_EQ(p.num_posts(), 2u);
+    EXPECT_EQ(p.num_friendships(), 2u);
+    // Dense ids follow global arrival order on every shard.
+    EXPECT_EQ(p.user(0).id, 1u);
+    EXPECT_EQ(p.post(1).id, 101u);
+    total_comments += p.num_comments();
+    total_likes += p.num_likes();
+  }
+  EXPECT_EQ(total_comments, 3u);
+  EXPECT_EQ(total_likes, 3u);
+  // Each comment is wholly on its owner shard (kRange: id mod 3), with its
+  // likes beside it and its parent rewritten to the root post.
+  const auto& owner200 = parts[200 % 3];
+  const auto dense = owner200.find_comment(200);
+  ASSERT_TRUE(dense.has_value());
+  EXPECT_EQ(owner200.comment(*dense).likers.size(), 2u);
+  EXPECT_FALSE(owner200.comment(*dense).parent_is_comment);
+  const auto& owner201 = parts[201 % 3];
+  const auto dense201 = owner201.find_comment(201);
+  ASSERT_TRUE(dense201.has_value());
+  // 201's parent is comment 200 (possibly on another shard); the router
+  // re-parents it to root post 100.
+  EXPECT_FALSE(owner201.comment(*dense201).parent_is_comment);
+  EXPECT_EQ(owner201.post(owner201.comment(*dense201).root_post).id, 100u);
+  EXPECT_EQ(router.root_post_of(201), 100u);
+}
+
+TEST(Router, RouteBroadcastsReplicatedOpsAndOwnsTheRest) {
+  ChangeSetRouter router{Partitioner(3, Partitioner::Scheme::kRange)};
+  (void)router.split_graph(tiny_graph());
+
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddUser{5});
+  cs.ops.push_back(sm::AddPost{102, 2000, 5});
+  cs.ops.push_back(sm::AddComment{203, 2001, /*parent_is_comment=*/true, 201, 5});
+  cs.ops.push_back(sm::AddLikes{4, 203});
+  cs.ops.push_back(sm::AddFriendship{4, 5});
+  cs.ops.push_back(sm::RemoveLikes{1, 200});
+  const auto parts = router.route(cs);
+  ASSERT_EQ(parts.size(), 3u);
+
+  // Broadcast ops are everywhere, in order.
+  for (const auto& p : parts) {
+    ASSERT_GE(p.ops.size(), 3u);
+    EXPECT_TRUE(std::holds_alternative<sm::AddUser>(p.ops[0]));
+    EXPECT_TRUE(std::holds_alternative<sm::AddPost>(p.ops[1]));
+  }
+  // The new comment went only to its owner, re-parented to root post 100
+  // (its parent 201 descends from post 100).
+  const std::size_t owner = 203 % 3;
+  int comment_ops = 0;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    for (const auto& op : parts[s].ops) {
+      if (const auto* c = std::get_if<sm::AddComment>(&op)) {
+        ++comment_ops;
+        EXPECT_EQ(s, owner);
+        EXPECT_EQ(c->id, 203u);
+        EXPECT_FALSE(c->parent_is_comment);
+        EXPECT_EQ(c->parent, 100u);
+      }
+      if (const auto* l = std::get_if<sm::AddLikes>(&op)) {
+        EXPECT_EQ(s, 203 % 3);
+        EXPECT_EQ(l->comment, 203u);
+      }
+      if (const auto* r = std::get_if<sm::RemoveLikes>(&op)) {
+        EXPECT_EQ(s, 200 % 3);
+        EXPECT_EQ(r->comment, 200u);
+      }
+    }
+  }
+  EXPECT_EQ(comment_ops, 1);
+  EXPECT_EQ(router.shard_of_comment(203), owner);
+}
+
+TEST(Router, NettingSurvivesRouting) {
+  // Add + remove + re-add of the same like must all land on the owner shard
+  // in their original order — the shard's sorted-sweep netting then sees
+  // exactly what the unsharded state would.
+  ChangeSetRouter router{Partitioner(4, Partitioner::Scheme::kRange)};
+  (void)router.split_graph(tiny_graph());
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddLikes{4, 202});
+  cs.ops.push_back(sm::RemoveLikes{4, 202});
+  cs.ops.push_back(sm::AddLikes{4, 202});
+  const auto parts = router.route(cs);
+  const std::size_t owner = 202 % 4;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    if (s == owner) {
+      ASSERT_EQ(parts[s].ops.size(), 3u);
+      EXPECT_TRUE(std::holds_alternative<sm::AddLikes>(parts[s].ops[0]));
+      EXPECT_TRUE(std::holds_alternative<sm::RemoveLikes>(parts[s].ops[1]));
+      EXPECT_TRUE(std::holds_alternative<sm::AddLikes>(parts[s].ops[2]));
+    } else {
+      EXPECT_TRUE(parts[s].empty());  // untouched shards get empty sets
+    }
+  }
+}
+
+TEST(Router, ReloadDropsTheOldCommentRegistry) {
+  // split_graph starts a fresh registry: ids known only to the previous
+  // graph must go back to being rejected, not silently mis-routed.
+  ChangeSetRouter router{Partitioner(2)};
+  (void)router.split_graph(tiny_graph());
+  EXPECT_NO_THROW((void)router.shard_of_comment(200));
+  sm::SocialGraph other;
+  other.add_user(1);
+  other.add_post(100, 1000);
+  other.add_comment(900, 1001, /*parent_is_comment=*/false, 100);
+  (void)router.split_graph(other);
+  EXPECT_NO_THROW((void)router.shard_of_comment(900));
+  EXPECT_THROW((void)router.shard_of_comment(200), grb::InvalidValue);
+}
+
+TEST(Router, UnknownCommentThrows) {
+  ChangeSetRouter router{Partitioner(2)};
+  (void)router.split_graph(tiny_graph());
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddLikes{1, 999});
+  EXPECT_THROW((void)router.route(cs), grb::InvalidValue);
+  EXPECT_THROW((void)router.shard_of_comment(999), grb::InvalidValue);
+}
+
+TEST(Router, ThrowingRouteRegistersNothing) {
+  // A set that fails to route must not leave phantom comment registrations:
+  // comment 300 was never applied by any shard, so later references to it
+  // must keep hitting the router-level rejection.
+  ChangeSetRouter router{Partitioner(2)};
+  (void)router.split_graph(tiny_graph());
+  sm::ChangeSet bad;
+  bad.ops.push_back(sm::AddComment{300, 3000, /*parent_is_comment=*/false,
+                                   100, 1});
+  bad.ops.push_back(sm::AddLikes{1, 999});  // throws: unknown comment
+  EXPECT_THROW((void)router.route(bad), grb::InvalidValue);
+  EXPECT_THROW((void)router.shard_of_comment(300), grb::InvalidValue);
+  // Same-set references still work when the set is valid.
+  sm::ChangeSet good;
+  good.ops.push_back(sm::AddComment{300, 3000, /*parent_is_comment=*/false,
+                                    100, 1});
+  good.ops.push_back(sm::AddComment{301, 3001, /*parent_is_comment=*/true,
+                                    300, 1});
+  good.ops.push_back(sm::AddLikes{1, 301});
+  EXPECT_NO_THROW((void)router.route(good));
+  EXPECT_EQ(router.root_post_of(301), 100u);
+}
+
+TEST(ShardedState, EmptyChangeSetsApplyCleanlyToEveryShard) {
+  shard::ShardedGrbState state(4, Partitioner::Scheme::kRange);
+  state.load(tiny_graph());
+  // A likes-only change set leaves three shards with empty sets; applying
+  // them must produce empty deltas, not errors.
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddLikes{4, 200});
+  const auto deltas = state.apply_change_set(cs);
+  ASSERT_EQ(deltas.size(), 4u);
+  for (std::size_t s = 0; s < deltas.size(); ++s) {
+    if (s == 200 % 4) {
+      EXPECT_EQ(deltas[s].new_likes.size(), 1u);
+    } else {
+      EXPECT_TRUE(deltas[s].new_likes.empty());
+      EXPECT_TRUE(deltas[s].new_comments.empty());
+      EXPECT_FALSE(deltas[s].has_removals());
+    }
+  }
+  // Replicated dimensions stay identical across shards; comments partition.
+  std::size_t comments = 0;
+  for (std::size_t s = 0; s < state.num_shards(); ++s) {
+    EXPECT_EQ(state.shard(s).num_users(), state.shard(0).num_users());
+    EXPECT_EQ(state.shard(s).num_posts(), state.shard(0).num_posts());
+    comments += state.shard(s).num_comments();
+  }
+  EXPECT_EQ(comments, 3u);
+}
+
+}  // namespace
