@@ -9,13 +9,18 @@
 namespace grb {
 
 namespace {
-std::atomic<int> g_threads{0};  // 0 = use OpenMP default
+// 0 = use OpenMP default. The knob is a standalone value — no other data is
+// published under it — so relaxed ordering is sufficient; the fork/join of
+// the parallel region that consumes it provides the synchronisation.
+std::atomic<int> g_threads{0};
 }
 
-void set_threads(int n) noexcept { g_threads.store(n < 1 ? 0 : n); }
+void set_threads(int n) noexcept {
+  g_threads.store(n < 1 ? 0 : n, std::memory_order_relaxed);
+}
 
 int threads() noexcept {
-  const int n = g_threads.load();
+  const int n = g_threads.load(std::memory_order_relaxed);
 #ifdef _OPENMP
   return n == 0 ? omp_get_max_threads() : n;
 #else
@@ -23,13 +28,18 @@ int threads() noexcept {
 #endif
 }
 
-bool threads_pinned() noexcept { return g_threads.load() != 0; }
+bool threads_pinned() noexcept {
+  return g_threads.load(std::memory_order_relaxed) != 0;
+}
 
-ThreadGuard::ThreadGuard(int n) noexcept : saved_(g_threads.load()) {
+ThreadGuard::ThreadGuard(int n) noexcept
+    : saved_(g_threads.load(std::memory_order_relaxed)) {
   set_threads(n);
 }
 
-ThreadGuard::~ThreadGuard() { g_threads.store(saved_); }
+ThreadGuard::~ThreadGuard() {
+  g_threads.store(saved_, std::memory_order_relaxed);
+}
 
 Context& Context::instance() noexcept {
   static Context ctx;

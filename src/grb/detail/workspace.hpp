@@ -36,10 +36,15 @@
 
 #ifdef GRB_WORKSPACE_TRACE_MISSES
 #include <cstdio>
-#include <typeinfo>
 #ifdef GRB_WORKSPACE_TRACE_BACKTRACE
 #include <execinfo.h>
 #endif
+#endif
+
+#include "grb/detail/check.hpp"
+
+#if defined(GRB_WORKSPACE_TRACE_MISSES) || GRB_CHECKS_ENABLED
+#include <typeinfo>
 #endif
 
 #include <array>
@@ -126,6 +131,11 @@ class ScopedStatsDomain {
 
 /// RAII handle on a pooled buffer. Move-only; returns the buffer to the
 /// workspace on destruction unless detach()ed.
+///
+/// Debug builds track ownership (see check.hpp): the lease records its
+/// owning thread and size class on acquisition, and double-detach,
+/// use-after-detach and cross-thread detach abort with that context in the
+/// message. Release builds compile the tracking out entirely.
 template <typename T>
 class Lease {
  public:
@@ -134,6 +144,14 @@ class Lease {
       : ws_(ws), buf_(std::move(buf)) {}
   Lease(Lease&& o) noexcept : ws_(o.ws_), buf_(std::move(o.buf_)) {
     o.ws_ = nullptr;
+#if GRB_CHECKS_ENABLED
+    token_ = o.token_;
+    owner_ = o.owner_;
+    cls_ = o.cls_;
+    detached_ = o.detached_;
+    o.token_ = 0;
+    o.detached_ = false;
+#endif
   }
   Lease& operator=(Lease&& o) noexcept {
     if (this != &o) {
@@ -141,6 +159,14 @@ class Lease {
       ws_ = o.ws_;
       buf_ = std::move(o.buf_);
       o.ws_ = nullptr;
+#if GRB_CHECKS_ENABLED
+      token_ = o.token_;
+      owner_ = o.owner_;
+      cls_ = o.cls_;
+      detached_ = o.detached_;
+      o.token_ = 0;
+      o.detached_ = false;
+#endif
     }
     return *this;
   }
@@ -148,12 +174,30 @@ class Lease {
   Lease& operator=(const Lease&) = delete;
   ~Lease() { release(); }
 
-  [[nodiscard]] std::vector<T>& get() noexcept { return buf_; }
-  [[nodiscard]] const std::vector<T>& get() const noexcept { return buf_; }
-  std::vector<T>& operator*() noexcept { return buf_; }
-  const std::vector<T>& operator*() const noexcept { return buf_; }
-  std::vector<T>* operator->() noexcept { return &buf_; }
-  const std::vector<T>* operator->() const noexcept { return &buf_; }
+  [[nodiscard]] std::vector<T>& get() noexcept {
+    debug_check_usable();
+    return buf_;
+  }
+  [[nodiscard]] const std::vector<T>& get() const noexcept {
+    debug_check_usable();
+    return buf_;
+  }
+  std::vector<T>& operator*() noexcept {
+    debug_check_usable();
+    return buf_;
+  }
+  const std::vector<T>& operator*() const noexcept {
+    debug_check_usable();
+    return buf_;
+  }
+  std::vector<T>* operator->() noexcept {
+    debug_check_usable();
+    return &buf_;
+  }
+  const std::vector<T>* operator->() const noexcept {
+    debug_check_usable();
+    return &buf_;
+  }
 
   /// Hands the buffer out of the arena (ownership moves to the caller; the
   /// lease becomes empty and returns nothing on destruction). Containers
@@ -161,13 +205,37 @@ class Lease {
   /// buffer leaving far oversized for its contents is trimmed on the way
   /// out (Workspace::detach_trimmed), so detached storage cannot pin a big
   /// pool buffer inside a small long-lived container.
+  ///
+  /// Debug builds enforce the detach discipline: detaching twice, or from a
+  /// thread other than the one that leased the buffer, aborts.
   [[nodiscard]] std::vector<T> detach();  // defined after Workspace
 
  private:
+  friend class Workspace;
+
   void release();  // defined after Workspace
+
+#if GRB_CHECKS_ENABLED
+  void debug_check_usable() const noexcept {
+    if (detached_) {
+      std::ostringstream os;
+      os << "use-after-detach: lease buffer already detached (owner-thread="
+         << thread_id_string(owner_) << " size-class=" << cls_ << ")";
+      check_fail("Workspace::Lease", os.str().c_str());
+    }
+  }
+#else
+  void debug_check_usable() const noexcept {}
+#endif
 
   Workspace* ws_ = nullptr;
   std::vector<T> buf_;
+#if GRB_CHECKS_ENABLED
+  std::uint64_t token_ = 0;
+  std::thread::id owner_;
+  int cls_ = 0;
+  bool detached_ = false;
+#endif
 };
 
 /// One pooled buffer per thread of a team, acquired up front so parallel
@@ -225,7 +293,7 @@ class Workspace {
           bytes_leased_.fetch_add(n * sizeof(T), std::memory_order_relaxed);
           count_domain(probe == 0 ? DomainEvent::kHit : DomainEvent::kSteal,
                        n * sizeof(T));
-          return Lease<T>(this, std::move(*buf));
+          return make_lease<T>(std::move(*buf), cls, n);
         }
       }
     }
@@ -247,7 +315,7 @@ class Workspace {
 #endif
     std::vector<T> fresh;
     fresh.reserve(std::size_t{1} << cls);
-    return Lease<T>(this, std::move(fresh));
+    return make_lease<T>(std::move(fresh), cls, n);
   }
 
   /// Acquires `team` buffers of capacity >= n each (per-thread scratch for a
@@ -350,8 +418,12 @@ class Workspace {
   }
 
   /// Frees every cached buffer (outstanding leases are unaffected). Returns
-  /// the number of bytes released back to the system.
+  /// the number of bytes released back to the system. Debug builds report
+  /// any lease still live at trim time — a leak-at-trim smell — to stderr
+  /// (owning thread + size class per lease) without aborting: trimming
+  /// around a deliberate long-lived lease is legal.
   std::size_t trim() {
+    lease_registry_.report_leaks("trim_workspace()");
     std::size_t freed = 0;
     for (Shard& sh : shards_) {
       std::lock_guard<std::mutex> lock(sh.mu);
@@ -376,6 +448,18 @@ class Workspace {
   /// engine-shard counts the benches sweep; higher domains fold into the
   /// unattributed bucket.
   static constexpr std::size_t kMaxDomains = 32;
+
+  /// Debug lease ledger (see check.hpp). Lease handles unregister through
+  /// this on release/detach; the misuse tests read live_leases().
+  [[nodiscard]] LeaseRegistry& lease_registry() noexcept {
+    return lease_registry_;
+  }
+
+  /// Number of currently outstanding leases (Debug builds; 0 in Release,
+  /// where the ledger is compiled out).
+  [[nodiscard]] std::size_t live_leases() const {
+    return lease_registry_.live_count();
+  }
 
   /// Per-domain lease counters for the given domain (independent of the
   /// calling thread's own ScopedStatsDomain scope).
@@ -445,6 +529,20 @@ class Workspace {
 
   static std::size_t current_shard() noexcept {
     return std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  }
+
+  /// Wraps a buffer in a Lease and, in Debug builds, registers it in the
+  /// lease ledger (owning thread, size class, bytes, element type).
+  template <typename T>
+  Lease<T> make_lease(std::vector<T>&& buf, [[maybe_unused]] int cls,
+                      [[maybe_unused]] std::size_t n) {
+    Lease<T> l(this, std::move(buf));
+#if GRB_CHECKS_ENABLED
+    l.token_ = lease_registry_.on_lease(cls, n * sizeof(T), typeid(T).name());
+    l.owner_ = std::this_thread::get_id();
+    l.cls_ = cls;
+#endif
+    return l;
   }
 
   template <typename T>
@@ -517,6 +615,7 @@ class Workspace {
 
   std::array<Shard, kShards> shards_;
   std::array<DomainCounters, kMaxDomains> domains_;
+  LeaseRegistry lease_registry_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> misses_{0};
@@ -530,6 +629,9 @@ class Workspace {
 template <typename T>
 void Lease<T>::release() {
   if (ws_ != nullptr) {
+#if GRB_CHECKS_ENABLED
+    ws_->lease_registry().on_release(token_);
+#endif
     ws_->donate(std::move(buf_));
     ws_ = nullptr;
   }
@@ -537,9 +639,29 @@ void Lease<T>::release() {
 
 template <typename T>
 std::vector<T> Lease<T>::detach() {
+#if GRB_CHECKS_ENABLED
+  if (detached_) {
+    std::ostringstream os;
+    os << "double-detach: lease already detached (owner-thread="
+       << thread_id_string(owner_) << " size-class=" << cls_ << ")";
+    check_fail("Workspace::Lease", os.str().c_str());
+  }
+  if (ws_ != nullptr && owner_ != std::this_thread::get_id()) {
+    std::ostringstream os;
+    os << "cross-thread detach: lease owned by thread "
+       << thread_id_string(owner_) << " detached by thread "
+       << thread_id_string(std::this_thread::get_id())
+       << " (size-class=" << cls_ << ")";
+    check_fail("Workspace::Lease", os.str().c_str());
+  }
+  detached_ = true;
+#endif
   if (ws_ == nullptr) return std::move(buf_);
   Workspace* ws = ws_;
   ws_ = nullptr;
+#if GRB_CHECKS_ENABLED
+  ws->lease_registry().on_release(token_);
+#endif
   return ws->detach_trimmed(std::move(buf_));
 }
 

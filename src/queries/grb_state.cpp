@@ -101,6 +101,11 @@ GrbState GrbState::from_graph(const sm::SocialGraph& g) {
 }
 
 GrbDelta GrbState::apply_change_set(const sm::ChangeSet& cs) {
+  // Debug epoch/reentrancy guard: a second apply overlapping this one —
+  // reentrant or from another thread — aborts instead of corrupting the
+  // matrices mid-merge.
+  const grb::detail::ReentrancyScope apply_scope(apply_guard_,
+                                                 "GrbState::apply_change_set");
   std::vector<grb::Tuple<Bool>> rp_tuples;
   GrbDelta delta;
 

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "grb/detail/check.hpp"
 #include "grb/grb.hpp"
 #include "model/change.hpp"
 #include "model/social_graph.hpp"
@@ -113,7 +114,14 @@ class GrbState {
   static GrbState from_graph(const sm::SocialGraph& g);
 
   /// Applies a change set: grows dimensions, merges edges, returns the delta.
+  /// Externally serial: Debug builds guard against reentrant or concurrent
+  /// applies (ReentrancyGuard aborts on an overlapping scope).
   GrbDelta apply_change_set(const sm::ChangeSet& cs);
+
+  /// Completed applies on this state (Debug builds; always 0 in Release).
+  [[nodiscard]] std::uint64_t apply_epoch() const noexcept {
+    return apply_guard_.epoch();
+  }
 
   // --- matrix views ---------------------------------------------------------
   [[nodiscard]] const grb::Matrix<Bool>& root_post() const noexcept {
@@ -167,6 +175,10 @@ class GrbState {
   std::unordered_map<sm::NodeId, Index> post_idx_;
   std::unordered_map<sm::NodeId, Index> comment_idx_;
   std::unordered_map<sm::NodeId, Index> user_idx_;
+
+  /// Debug reentrancy/epoch guard on apply_change_set (no-op in Release;
+  /// copies of a state start with a fresh, idle guard).
+  grb::detail::ReentrancyGuard apply_guard_;
 };
 
 }  // namespace queries

@@ -1,46 +1,26 @@
 #include "shard/sharded_state.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <functional>
-#include <mutex>
-
+#include "grb/detail/check.hpp"
 #include "grb/detail/parallel.hpp"
 
 namespace shard {
 
 void ShardedGrbState::for_each_shard(
     const std::function<void(std::size_t)>& f) {
-  const std::size_t n = num_shards();
-  const auto run_one = [&](std::size_t s) {
-    grb::detail::ScopedStatsDomain domain(static_cast<int>(s));
-    f(s);
-  };
-#ifdef _OPENMP
-  const int team = static_cast<int>(
-      std::min<std::size_t>(
-          n, static_cast<std::size_t>(grb::detail::effective_threads())));
-  if (team > 1) {
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-    const auto ni = static_cast<std::int64_t>(n);
-#pragma omp parallel for num_threads(team) schedule(dynamic, 1)
-    for (std::int64_t s = 0; s < ni; ++s) {
-      try {
-        run_one(static_cast<std::size_t>(s));
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-    if (first_error) std::rethrow_exception(first_error);
-    return;
-  }
-#endif
-  for (std::size_t s = 0; s < n; ++s) run_one(s);
+  // parallel_tasks owns the omp pragma (one worker per shard, dynamic
+  // dispatch), the exception-collecting join, and the debug overlap claim
+  // per shard id; the stats-domain scope rides inside each task so every
+  // lease a shard's worker takes is attributed to that shard.
+  grb::detail::parallel_tasks(
+      static_cast<grb::Index>(num_shards()), [&](grb::Index s) {
+        grb::detail::ScopedStatsDomain domain(static_cast<int>(s));
+        f(static_cast<std::size_t>(s));
+      });
 }
 
 void ShardedGrbState::load(const sm::SocialGraph& g) {
+  const grb::detail::ReentrancyScope scope(apply_guard_,
+                                           "ShardedGrbState::load");
   const std::vector<sm::SocialGraph> parts = router_.split_graph(g);
   states_.assign(num_shards(), queries::GrbState{});
   for_each_shard([&](std::size_t s) {
@@ -50,6 +30,12 @@ void ShardedGrbState::load(const sm::SocialGraph& g) {
 
 std::vector<queries::GrbDelta> ShardedGrbState::apply_change_set(
     const sm::ChangeSet& cs) {
+  // The apply path is externally serial (one change set at a time); the
+  // epoch guard turns an accidental concurrent or reentrant apply — easy to
+  // introduce once the pipelined-ingestion work overlaps change sets — into
+  // an immediate debug abort instead of silently corrupted shard states.
+  const grb::detail::ReentrancyScope scope(apply_guard_,
+                                           "ShardedGrbState::apply_change_set");
   const std::vector<sm::ChangeSet> parts = router_.route(cs);
   std::vector<queries::GrbDelta> deltas(num_shards());
   for_each_shard([&](std::size_t s) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "grb/detail/check.hpp"
 #include "queries/grb_state.hpp"
 #include "shard/router.hpp"
 
@@ -49,9 +50,17 @@ class ShardedGrbState {
   /// collected and the first one rethrown after the join.
   void for_each_shard(const std::function<void(std::size_t)>& f);
 
+  /// Completed load/apply scopes (Debug builds; always 0 in Release). The
+  /// pipelined-ingestion arc will publish answers tagged with this.
+  [[nodiscard]] std::uint64_t apply_epoch() const noexcept {
+    return apply_guard_.epoch();
+  }
+
  private:
   ChangeSetRouter router_;
   std::vector<queries::GrbState> states_;
+  /// Debug reentrancy/epoch guard on the apply path (no-op in Release).
+  grb::detail::ReentrancyGuard apply_guard_;
 };
 
 }  // namespace shard

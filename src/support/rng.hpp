@@ -2,6 +2,12 @@
 // the property-based tests. We avoid std::mt19937 + std::*_distribution
 // because their output is not guaranteed to be identical across standard
 // library implementations; reproducing a dataset from a seed must be exact.
+//
+// This header is the only sanctioned randomness source in library code:
+// tools/lint_invariants.py (rule raw-rng) rejects std::rand/random_device/
+// unseeded engines anywhere else under src/, precisely because ambient
+// nondeterminism would break the differential harnesses' byte-identity
+// guarantees. Everything here is seeded explicitly by the caller.
 #pragma once
 
 #include <cassert>

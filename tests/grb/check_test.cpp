@@ -1,0 +1,225 @@
+// Death/negative tests for the debug concurrency-correctness layer
+// (grb/detail/check.hpp): workspace lease misuse (double-detach,
+// use-after-detach, cross-thread detach, leak-at-trim), chunk-grid write
+// overlap, and apply-path reentrancy — plus functional coverage of the
+// parallel_tasks fan-out driver the shard layer runs on.
+//
+// In Release builds (NDEBUG) the checks are compiled out by design; the
+// death tests skip themselves and the misuse paths are instead exercised
+// for "must not crash" behaviour, which pins the compiled-out contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "grb/context.hpp"
+#include "grb/detail/check.hpp"
+#include "grb/detail/parallel.hpp"
+#include "grb/detail/workspace.hpp"
+#include "model/change.hpp"
+#include "queries/grb_state.hpp"
+#include "shard/sharded_state.hpp"
+
+namespace {
+
+using grb::detail::workspace;
+
+class CheckDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Death tests fork; "threadsafe" re-execs the binary so the child does
+    // not inherit this process's OpenMP pool mid-flight.
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+  }
+};
+
+TEST_F(CheckDeathTest, DoubleDetachDies) {
+#if GRB_CHECKS_ENABLED
+  EXPECT_DEATH(
+      {
+        auto lease = workspace().lease<int>(256);
+        auto first = lease.detach();
+        auto second = lease.detach();
+        (void)first;
+        (void)second;
+      },
+      "double-detach");
+#else
+  GTEST_SKIP() << "ownership checks compile out in Release";
+#endif
+}
+
+TEST_F(CheckDeathTest, UseAfterDetachDies) {
+#if GRB_CHECKS_ENABLED
+  EXPECT_DEATH(
+      {
+        auto lease = workspace().lease<int>(256);
+        auto buf = lease.detach();
+        (void)buf;
+        lease->push_back(1);
+      },
+      "use-after-detach");
+#else
+  GTEST_SKIP() << "ownership checks compile out in Release";
+#endif
+}
+
+TEST_F(CheckDeathTest, CrossThreadDetachDies) {
+#if GRB_CHECKS_ENABLED
+  EXPECT_DEATH(
+      {
+        auto lease = workspace().lease<int>(256);
+        std::thread other([&] {
+          auto buf = lease.detach();
+          (void)buf;
+        });
+        other.join();
+      },
+      "cross-thread detach");
+#else
+  GTEST_SKIP() << "ownership checks compile out in Release";
+#endif
+}
+
+TEST_F(CheckDeathTest, OverlappingChunkClaimsDie) {
+#if GRB_CHECKS_ENABLED
+  EXPECT_DEATH(
+      {
+        grb::detail::OverlapChecker grid("test-grid");
+        auto a = grid.claim(0, 10);
+        auto b = grid.claim(5, 15);
+        (void)a;
+        (void)b;
+      },
+      "overlapping chunk-grid writes");
+#else
+  GTEST_SKIP() << "overlap checks compile out in Release";
+#endif
+}
+
+TEST_F(CheckDeathTest, ReentrantScopeDies) {
+#if GRB_CHECKS_ENABLED
+  EXPECT_DEATH(
+      {
+        grb::detail::ReentrancyGuard guard;
+        grb::detail::ReentrancyScope outer(guard, "test-entry");
+        grb::detail::ReentrancyScope inner(guard, "test-entry");
+      },
+      "reentrant/concurrent entry");
+#else
+  GTEST_SKIP() << "reentrancy checks compile out in Release";
+#endif
+}
+
+// trim_workspace() with a live lease must REPORT the leak (owning thread +
+// size class), never crash — trimming around a deliberate long-lived lease
+// is legal. Release builds compile the ledger out; the call must still be
+// safe with the lease outstanding.
+TEST(CheckTest, TrimWithLiveLeaseReportsLeakInsteadOfCrashing) {
+  auto lease = workspace().lease<double>(512);
+  lease->assign(100, 1.0);
+#if GRB_CHECKS_ENABLED
+  testing::internal::CaptureStderr();
+  grb::trim_workspace();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("leak-at-trim"), std::string::npos) << err;
+  EXPECT_NE(err.find("owner-thread"), std::string::npos) << err;
+  EXPECT_NE(err.find("size-class"), std::string::npos) << err;
+#else
+  grb::trim_workspace();
+#endif
+  // The lease stays fully usable after the trim and returns cleanly.
+  EXPECT_EQ(lease->size(), 100u);
+}
+
+TEST(CheckTest, LeaseLedgerTracksLiveLeases) {
+  const std::size_t before = workspace().live_leases();
+  {
+    auto a = workspace().lease<int>(128);
+    auto b = workspace().lease<float>(128);
+#if GRB_CHECKS_ENABLED
+    EXPECT_EQ(workspace().live_leases(), before + 2);
+#else
+    EXPECT_EQ(workspace().live_leases(), 0u);
+#endif
+    (void)a;
+    (void)b;
+  }
+  EXPECT_EQ(workspace().live_leases(), GRB_CHECKS_ENABLED ? before : 0u);
+}
+
+TEST(CheckTest, MovedFromLeaseIsInert) {
+  auto a = workspace().lease<int>(256);
+  auto b = std::move(a);
+  b->push_back(7);
+  EXPECT_EQ(b->back(), 7);
+  // The moved-from lease neither double-releases nor trips the ledger.
+  const auto buf = b.detach();
+  EXPECT_EQ(buf.back(), 7);
+}
+
+TEST(CheckTest, DisjointClaimsAndReuseAfterReleasePass) {
+  grb::detail::OverlapChecker grid("test-grid");
+  {
+    [[maybe_unused]] auto a = grid.claim(0, 10);
+    [[maybe_unused]] auto b = grid.claim(10, 20);
+    [[maybe_unused]] auto c = grid.claim(30, 40);
+  }
+  // Ranges freed by scope exit are claimable again.
+  [[maybe_unused]] auto d = grid.claim(0, 40);
+  SUCCEED();
+}
+
+TEST(CheckTest, ApplyEpochCountsCompletedApplies) {
+  queries::GrbState state;
+  const sm::ChangeSet empty;
+  auto d1 = state.apply_change_set(empty);
+  auto d2 = state.apply_change_set(empty);
+  (void)d1;
+  (void)d2;
+#if GRB_CHECKS_ENABLED
+  EXPECT_EQ(state.apply_epoch(), 2u);
+#else
+  EXPECT_EQ(state.apply_epoch(), 0u);  // compiled out
+#endif
+}
+
+TEST(ParallelTasksTest, RunsEveryTaskExactlyOnce) {
+  const grb::ThreadGuard pin(4);
+  constexpr grb::Index kTasks = 64;
+  std::vector<int> ran(kTasks, 0);
+  grb::detail::parallel_tasks(kTasks,
+                              [&](grb::Index i) { ran[i] += 1; });
+  for (grb::Index i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i], 1) << i;
+}
+
+TEST(ParallelTasksTest, CollectsAndRethrowsFirstException) {
+  const grb::ThreadGuard pin(4);
+  std::atomic<int> survivors{0};
+  EXPECT_THROW(
+      grb::detail::parallel_tasks(16,
+                                  [&](grb::Index i) {
+                                    if (i == 7) {
+                                      throw std::runtime_error("task 7 boom");
+                                    }
+                                    survivors.fetch_add(1);
+                                  }),
+      std::runtime_error);
+  // The join completed: every non-throwing task still ran.
+  EXPECT_EQ(survivors.load(), 15);
+}
+
+TEST(ParallelTasksTest, SerialFallbackPropagatesExceptions) {
+  const grb::ThreadGuard pin(1);
+  EXPECT_THROW(grb::detail::parallel_tasks(
+                   4,
+                   [](grb::Index i) {
+                     if (i == 2) throw std::runtime_error("serial boom");
+                   }),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -9,7 +9,10 @@
 #include <string>
 
 #include "datagen/generator.hpp"
+#include "grb/detail/check.hpp"
 #include "harness/runner.hpp"
+#include "model/change.hpp"
+#include "shard/sharded_state.hpp"
 
 namespace {
 
@@ -86,6 +89,24 @@ TEST(ShardedEquivalence, BatchReferenceAgreesToo) {
     for (const ToolSpec& t : harness::sharded_tools(3)) tools.push_back(t);
     EXPECT_NO_THROW(harness::verify_tools(tools, q, ds.initial, ds.changes));
   }
+}
+
+TEST(ShardedEquivalence, ApplyEpochCountsLoadAndApplies) {
+  // The sharded apply path is guarded against reentrant/concurrent entry in
+  // Debug; the same guard's epoch counter is the hook the pipelined-
+  // ingestion arc will tag published answers with. load() and each
+  // apply_change_set() are one completed scope apiece.
+  const auto ds = datagen::generate(datagen::params_for_scale(1, 42));
+  shard::ShardedGrbState state(2);
+  state.load(ds.initial);
+  const sm::ChangeSet empty;
+  (void)state.apply_change_set(empty);
+  (void)state.apply_change_set(empty);
+#if GRB_CHECKS_ENABLED
+  EXPECT_EQ(state.apply_epoch(), 3u);  // load + two applies
+#else
+  EXPECT_EQ(state.apply_epoch(), 0u);  // guard compiles out in Release
+#endif
 }
 
 TEST(ShardedEquivalence, RegistryExposesShardedVariants) {

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Repo-specific concurrency/ownership invariant lint.
+
+Mechanizes the rules the codebase's concurrency-correctness story depends
+on — the ones clang-tidy cannot know about:
+
+  omp-outside-parallel  Every `#pragma omp` must live in
+                        src/grb/detail/parallel.hpp. That confinement is
+                        what lets the TSan fork/join annotations and the
+                        debug overlap claims cover the whole library from
+                        one file.
+  omp-reduction         `reduction(...)` clauses are banned everywhere
+                        (including parallel.hpp): their combination order
+                        varies with the team size, which breaks the
+                        bit-identical-at-any-thread-count guarantee. Use
+                        detail::parallel_fold (fixed-grid, deterministic).
+  naked-alloc           `new T[...]` / malloc / calloc / realloc are banned
+                        outside src/grb/detail/workspace.hpp: scratch and
+                        storage lease from the Context workspace arena so
+                        the steady state stays allocation-free.
+  raw-rng               std::rand / srand / std::random_device are banned in
+                        library code (src/): all randomness flows through
+                        the seeded support/rng.hpp engines so every run is
+                        reproducible from its --seed.
+
+A line may opt out of one rule with a trailing `lint:allow(<rule-id>)`
+marker (inside a comment), mirroring clang-tidy's NOLINT. Use sparingly and
+say why next to it.
+
+Exit status: 0 clean, 1 violations found (printed as file:line: [rule] ...),
+2 usage error. `--self-test` seeds one violation per rule in a temp tree and
+asserts the scanner catches each (and that a clean tree passes) — this runs
+as the ctest case lint.invariants_selftest.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+CODE_SUFFIXES = (".hpp", ".cpp", ".h", ".cc", ".cxx", ".hxx")
+
+# Directories scanned relative to the repo root. `build*` and hidden dirs
+# are always skipped.
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+ALLOW_MARKER = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+# Strip // line comments so prose about "#pragma omp" or "malloc" in a
+# comment does not trip the code rules. Block comments are rare in this
+# codebase and handled line-wise (a line starting with * or /* is prose).
+LINE_COMMENT = re.compile(r"//.*$")
+BLOCK_COMMENT_LINE = re.compile(r"^\s*(/\*|\*)")
+
+
+class Rule:
+    def __init__(self, rule_id, pattern, message, dirs, allowed_files):
+        self.rule_id = rule_id
+        self.pattern = re.compile(pattern)
+        self.message = message
+        self.dirs = dirs  # top-level dirs the rule applies to
+        self.allowed_files = allowed_files  # repo-relative posix paths exempt
+
+
+RULES = [
+    Rule(
+        "omp-outside-parallel",
+        r"#\s*pragma\s+omp\b",
+        "`#pragma omp` outside src/grb/detail/parallel.hpp — route the "
+        "parallelism through parallel_for/parallel_region/parallel_tasks",
+        SCAN_DIRS,
+        {"src/grb/detail/parallel.hpp"},
+    ),
+    Rule(
+        "omp-reduction",
+        r"#\s*pragma\s+omp\b.*\breduction\s*\(",
+        "omp reduction clause — combination order depends on the team size; "
+        "use detail::parallel_fold (deterministic fixed-grid reduction)",
+        SCAN_DIRS,
+        set(),
+    ),
+    Rule(
+        "naked-alloc",
+        r"(\bnew\s+[A-Za-z_][\w:<>,\s]*\[|\b(?:malloc|calloc|realloc)\s*\()",
+        "naked allocation outside the workspace arena — lease scratch from "
+        "grb::detail::workspace() (grb/detail/workspace.hpp)",
+        SCAN_DIRS,
+        {"src/grb/detail/workspace.hpp"},
+    ),
+    Rule(
+        "raw-rng",
+        r"(\bstd::rand\b|\bsrand\s*\(|\bstd::random_device\b)",
+        "non-reproducible RNG in library code — use the seeded engines in "
+        "support/rng.hpp so runs replay from --seed",
+        ("src",),
+        {"src/support/rng.hpp"},
+    ),
+]
+
+
+def iter_files(root, dirs):
+    for d in dirs:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [
+                n for n in dirnames if not n.startswith(".") and n != "build"
+            ]
+            for name in sorted(filenames):
+                if name.endswith(CODE_SUFFIXES):
+                    yield os.path.join(dirpath, name)
+
+
+def scan(root):
+    """Returns a list of (relpath, lineno, rule_id, message, line) tuples."""
+    violations = []
+    files_by_dirs = {}
+    for rule in RULES:
+        files_by_dirs.setdefault(rule.dirs, None)
+    for dirs in files_by_dirs:
+        files_by_dirs[dirs] = list(iter_files(root, dirs))
+    for rule in RULES:
+        for path in files_by_dirs[rule.dirs]:
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            if rel in rule.allowed_files:
+                continue
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    lines = f.readlines()
+            except OSError as e:
+                print(f"error: cannot read {rel}: {e}", file=sys.stderr)
+                return None
+            for lineno, raw in enumerate(lines, start=1):
+                allow = ALLOW_MARKER.search(raw)
+                if allow and allow.group(1) == rule.rule_id:
+                    continue
+                if BLOCK_COMMENT_LINE.match(raw):
+                    continue
+                code = LINE_COMMENT.sub("", raw)
+                if rule.pattern.search(code):
+                    violations.append(
+                        (rel, lineno, rule.rule_id, rule.message, raw.rstrip())
+                    )
+    return violations
+
+
+def self_test():
+    """Seeds one violation per rule in a temp tree; the scanner must flag
+    each, and a clean tree must pass."""
+    seeded = {
+        # A stray omp pragma in a test fixture — the canonical violation.
+        "tests/fixture_test.cpp": (
+            "void f(int* v, int n) {\n"
+            "#pragma omp parallel for\n"
+            "  for (int i = 0; i < n; ++i) v[i] = i;\n"
+            "}\n",
+            {"omp-outside-parallel"},
+        ),
+        "src/grb/detail/parallel.hpp": (
+            "#pragma omp parallel for reduction(+ : sum)\n",
+            {"omp-reduction"},  # allowed for the omp rule, not for reduction
+        ),
+        "src/kernel.cpp": (
+            "int* scratch = new int[1024];\n"
+            "void* p = malloc(64);\n",
+            {"naked-alloc"},
+        ),
+        "src/engine.cpp": (
+            "#include <random>\n"
+            "int seed() { return static_cast<int>(std::random_device{}()); }\n",
+            {"raw-rng"},
+        ),
+        # Clean + suppressed content must NOT fire.
+        "src/clean.cpp": (
+            "// prose about #pragma omp and malloc( in a comment is fine\n"
+            "int* p = new int[4];  // lint:allow(naked-alloc) fixed-size ABI\n",
+            set(),
+        ),
+    }
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+        for rel, (content, _) in seeded.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        violations = scan(tmp)
+        if violations is None:
+            return 1
+        fired = {}
+        for rel, _lineno, rule_id, _msg, _line in violations:
+            fired.setdefault(rel, set()).add(rule_id)
+        for rel, (_content, expected) in seeded.items():
+            got = fired.get(rel, set())
+            if got != expected:
+                failures.append(
+                    f"{rel}: expected rules {sorted(expected)}, got {sorted(got)}"
+                )
+    # An empty tree must scan clean.
+    with tempfile.TemporaryDirectory(prefix="lint_selftest_clean_") as tmp:
+        os.makedirs(os.path.join(tmp, "src"))
+        if scan(tmp):
+            failures.append("clean tree reported violations")
+    if failures:
+        print("lint_invariants self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("lint_invariants self-test passed "
+          f"({len(RULES)} rules, seeded violations all caught)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root,
+                        help="repo root to scan (default: the checkout "
+                             "containing this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="seed violations in a temp tree and assert the "
+                             "scanner catches them")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    if not os.path.isdir(args.root):
+        print(f"error: no such directory: {args.root}", file=sys.stderr)
+        return 2
+    violations = scan(args.root)
+    if violations is None:
+        return 2
+    for rel, lineno, rule_id, message, line in violations:
+        print(f"{rel}:{lineno}: [{rule_id}] {message}")
+        print(f"    {line.strip()}")
+    if violations:
+        print(f"\n{len(violations)} invariant violation(s).", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
