@@ -28,10 +28,26 @@
 //                              misses per shard)
 //   --shards=N                (also run the sharded engine pair at N
 //                              shards, one thread per shard)
+//   --pipeline=DEPTH          (also run the pipelined engine pair — the
+//                              asynchronous ingestion pipeline at DEPTH
+//                              change sets in flight, shards from --shards
+//                              or 4 — and measure update-phase throughput
+//                              in change sets/sec: serial sharded
+//                              ingestion vs the pipeline at depths 1, 2
+//                              and 4, at --throughput-sf. With --smoke it
+//                              additionally gates pipelined answers ==
+//                              serial answers and that pipelined
+//                              throughput has not collapsed below half of
+//                              serial)
+//   --throughput-sf=SF        (scale factor for the throughput
+//                              measurement; default: the largest scale
+//                              run)
 //   --json=PATH               (machine-readable results: timings per
-//                              tool/query/scale, plus — with --smoke —
-//                              the gate verdicts, the arena counters, and
-//                              per-shard arena_hit_rate fields)
+//                              tool/query/scale, plus throughput_cs_per_s
+//                              entries with --pipeline, plus — with
+//                              --smoke — the gate verdicts, the arena
+//                              counters, and per-shard arena_hit_rate
+//                              fields)
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -68,11 +84,34 @@ struct SmokeResult {
   bool sharded_arena_ok = false;
   grb::WorkspaceStats sharded_loop;
   std::vector<grb::WorkspaceStats> per_shard;
+  // --- pipeline gates (only with --pipeline=DEPTH) --------------------------
+  bool pipeline_ran = false;
+  bool pipeline_answers_ok = false;
+  bool pipeline_throughput_ok = false;
+  int pipeline_depth = 0;
 
   [[nodiscard]] bool ok() const {
     return trend_ok && arena_ok &&
-           (!sharded_ran || (sharded_answers_ok && sharded_arena_ok));
+           (!sharded_ran || (sharded_answers_ok && sharded_arena_ok)) &&
+           (!pipeline_ran ||
+            (pipeline_answers_ok && pipeline_throughput_ok));
   }
+};
+
+/// Update-phase ingestion throughput (change sets / second): the serial
+/// sharded schedule vs the pipelined schedule at depths 1, 2 and 4.
+struct ThroughputEntry {
+  int depth = 0;
+  double update_s = -1.0;
+  double cs_per_s = -1.0;
+};
+struct ThroughputResult {
+  bool ran = false;
+  unsigned scale = 0;
+  std::size_t change_sets = 0;
+  int shards = 0;
+  ThroughputEntry serial;          ///< depth 0: serial barrier ingestion
+  std::vector<ThroughputEntry> pipelined;
 };
 
 void write_json(
@@ -82,7 +121,7 @@ void write_json(
     const std::vector<harness::Query>& queries,
     const std::map<std::string,
                    std::map<std::string, std::map<unsigned, Cell>>>& res,
-    const SmokeResult& smoke) {
+    const SmokeResult& smoke, const ThroughputResult& tp) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::cerr << "fig5: cannot write --json=" << path << "\n";
@@ -112,9 +151,9 @@ void write_json(
     const auto& tool = tools[t];
     std::fprintf(f,
                  "    {\"label\": \"%s\", \"key\": \"%s\", \"threads\": %d, "
-                 "\"shards\": %d, \"results\": [",
+                 "\"shards\": %d, \"pipeline\": %d, \"results\": [",
                  tool.label.c_str(), tool.key.c_str(), tool.threads,
-                 tool.shards);
+                 tool.shards, tool.pipeline);
     bool first = true;
     for (const harness::Query q : queries) {
       const auto by_tool = res.find(harness::query_name(q));
@@ -137,6 +176,23 @@ void write_json(
     std::fprintf(f, "\n    ]}%s\n", t + 1 < tools.size() ? "," : "");
   }
   std::fprintf(f, "  ]");
+  if (tp.ran) {
+    std::fprintf(f,
+                 ",\n  \"throughput\": {\n    \"query\": \"Q2\", \"scale\": "
+                 "%u, \"change_sets\": %zu, \"shards\": %d,\n"
+                 "    \"serial\": {\"update_s\": %.6g, "
+                 "\"throughput_cs_per_s\": %.6g},\n    \"pipelined\": [",
+                 tp.scale, tp.change_sets, tp.shards, tp.serial.update_s,
+                 tp.serial.cs_per_s);
+    for (std::size_t i = 0; i < tp.pipelined.size(); ++i) {
+      const ThroughputEntry& e = tp.pipelined[i];
+      std::fprintf(f,
+                   "%s\n      {\"depth\": %d, \"update_s\": %.6g, "
+                   "\"throughput_cs_per_s\": %.6g}",
+                   i ? "," : "", e.depth, e.update_s, e.cs_per_s);
+    }
+    std::fprintf(f, "\n    ]\n  }");
+  }
   if (smoke.ran) {
     std::fprintf(f,
                  ",\n  \"smoke\": {\n    \"ok\": %s,\n    \"trend_ok\": %s,\n"
@@ -162,6 +218,14 @@ void write_json(
       }
       std::fprintf(f, "\n    ]}");
     }
+    if (smoke.pipeline_ran) {
+      std::fprintf(f,
+                   ",\n    \"pipeline\": {\"depth\": %d, "
+                   "\"answers_match\": %s, \"throughput_ok\": %s}",
+                   smoke.pipeline_depth,
+                   smoke.pipeline_answers_ok ? "true" : "false",
+                   smoke.pipeline_throughput_ok ? "true" : "false");
+    }
     std::fprintf(f, "\n  }");
   }
   std::fprintf(f, "\n}\n");
@@ -183,6 +247,10 @@ int main(int argc, char** argv) {
 
   const bool smoke = flags.get_bool("smoke", false);
   const int shards = static_cast<int>(flags.get_int("shards", 0));
+  const int pipeline = static_cast<int>(flags.get_int("pipeline", 0));
+  // The pipelined tools shard too; without an explicit --shards they run at
+  // the registry's default 4-shard configuration.
+  const int pshards = shards > 0 ? shards : 4;
   const std::string json_path = flags.get("json", "");
   std::vector<harness::ToolSpec> tools = harness::fig5_tools();
   if (flags.get_bool("extension", false)) {
@@ -190,6 +258,11 @@ int main(int argc, char** argv) {
   }
   if (shards > 0) {
     for (const auto& t : harness::sharded_tools(shards)) tools.push_back(t);
+  }
+  if (pipeline > 0) {
+    for (const auto& t : harness::pipelined_tools(pshards, pipeline)) {
+      tools.push_back(t);
+    }
   }
   const std::string tools_sel = flags.get("tools", "");
   if (!tools_sel.empty()) {
@@ -267,6 +340,59 @@ int main(int argc, char** argv) {
     const char* qn = harness::query_name(q);
     if (phase_sel == "initial" || phase_sel == "both") emit(qn, false);
     if (phase_sel == "update" || phase_sel == "both") emit(qn, true);
+  }
+
+  // --- ingestion throughput (change sets / second) ---------------------------
+  // Serial sharded ingestion (every shard applies epoch t, barrier, t+1)
+  // vs the asynchronous pipeline at depths 1, 2 and 4, on the Q2 update
+  // phase. Geomean update-phase wall time over `repeats` runs; the answer
+  // sequences are identical by construction (differentially gated in the
+  // test suite and in --smoke), so this isolates pure schedule overhead.
+  ThroughputResult tr;
+  if (pipeline > 0) {
+    const auto tsf = static_cast<unsigned>(
+        flags.get_int("throughput-sf", static_cast<long long>(
+                                           scales.empty() ? 1 : scales.back())));
+    datagen::Dataset tp_ds_storage;
+    const datagen::Dataset* tp_ds = &top_ds;
+    if (scales.empty() || tsf != scales.back()) {
+      tp_ds_storage = datagen::generate(datagen::params_for_scale(tsf, seed));
+      tp_ds = &tp_ds_storage;
+    }
+    tr.ran = true;
+    tr.scale = tsf;
+    tr.change_sets = tp_ds->changes.size();
+    tr.shards = pshards;
+    const double n_cs = static_cast<double>(tr.change_sets);
+
+    harness::ToolSpec serial_inc;
+    for (const auto& t : harness::sharded_tools(pshards)) {
+      if (t.key == "grb-sharded-incremental") serial_inc = t;
+    }
+    const auto rep = harness::run_repeated(serial_inc, harness::Query::kQ2,
+                                           tp_ds->initial, tp_ds->changes,
+                                           repeats);
+    tr.serial.update_s = rep.update_and_reeval.geomean;
+    tr.serial.cs_per_s = n_cs / tr.serial.update_s;
+    std::printf(
+        "Ingestion throughput (Q2, SF %u, %zu change sets, %d shards):\n"
+        "  serial barrier: %.4gs (%.4g cs/s)\n",
+        tsf, tr.change_sets, pshards, tr.serial.update_s, tr.serial.cs_per_s);
+    for (const int depth : {1, 2, 4}) {
+      const harness::ToolSpec tool =
+          harness::pipelined_tools(pshards, depth)[1];
+      const auto prep = harness::run_repeated(tool, harness::Query::kQ2,
+                                              tp_ds->initial, tp_ds->changes,
+                                              repeats);
+      ThroughputEntry e;
+      e.depth = depth;
+      e.update_s = prep.update_and_reeval.geomean;
+      e.cs_per_s = n_cs / e.update_s;
+      tr.pipelined.push_back(e);
+      std::printf("  pipeline depth %d: %.4gs (%.4g cs/s, %.2fx serial)\n",
+                  depth, e.update_s, e.cs_per_s,
+                  e.cs_per_s / tr.serial.cs_per_s);
+    }
   }
 
   // --- shape checks (Sec. IV qualitative claims) -----------------------------
@@ -467,10 +593,53 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(d.misses), d.hit_rate());
       }
     }
+
+    // --- pipeline gates ------------------------------------------------------
+    // (1) Determinism: the pipelined engines' answer sequences must be
+    // byte-identical to the serial schedule on the smoke dataset — through
+    // run_once, so the streamed overlap path is what gets compared. (2) A
+    // collapse detector on the throughput sweep above: the best pipelined
+    // depth must retain at least half the serial schedule's cs/s. This is
+    // deliberately NOT a speedup gate — CI runners are noisy single-core
+    // boxes — it catches the pipeline regressing into pathological
+    // serialisation (lock convoy, per-epoch reallocation), not missing wins.
+    if (pipeline > 0) {
+      sr.pipeline_ran = true;
+      sr.pipeline_depth = pipeline;
+      std::vector<harness::ToolSpec> pipe_tools = {inc_tool};
+      for (const auto& t : harness::pipelined_tools(pshards, pipeline)) {
+        pipe_tools.push_back(t);
+      }
+      try {
+        harness::verify_tools(pipe_tools, harness::Query::kQ2, ds.initial,
+                              ds.changes);
+        sr.pipeline_answers_ok = true;
+      } catch (const std::exception& e) {
+        std::cerr << "pipelined answer mismatch: " << e.what() << "\n";
+      }
+      std::printf(
+          "[%s] smoke pipeline: depth-%d answers %s the serial schedule "
+          "(%s)\n",
+          sr.pipeline_answers_ok ? "PASS" : "FAIL", pipeline,
+          sr.pipeline_answers_ok ? "match" : "DIVERGE from",
+          harness::query_name(harness::Query::kQ2));
+
+      double best_cs = -1.0;
+      for (const ThroughputEntry& e : tr.pipelined) {
+        best_cs = std::max(best_cs, e.cs_per_s);
+      }
+      sr.pipeline_throughput_ok =
+          tr.ran && best_cs >= 0.5 * tr.serial.cs_per_s;
+      std::printf(
+          "[%s] smoke pipeline throughput: best %.4g cs/s vs serial %.4g "
+          "cs/s (floor 0.5x)\n",
+          sr.pipeline_throughput_ok ? "PASS" : "FAIL", best_cs,
+          tr.serial.cs_per_s);
+    }
   }
   if (!json_path.empty()) {
     write_json(json_path, seed, repeats, shards, scales, tools, queries, res,
-               sr);
+               sr, tr);
   }
   return !smoke || sr.ok() ? 0 : 1;
 }

@@ -1,0 +1,220 @@
+// EpochPipeline: the bounded, epoch-tagged hand-off primitive under the
+// sharded ingestion pipeline. One producer thread submits epochs (reserve →
+// fill a slot the caller owns → publish); N worker threads each consume
+// *every* epoch in strict order (worker w is shard w — per-shard order is
+// the correctness contract, cross-shard skew is the parallelism). A window
+// of `depth` epochs bounds how far the producer may run ahead of the
+// slowest consumer, and an epoch-publication barrier (`wait_retired`) lets
+// the producer merge an epoch's per-shard results only once every worker
+// has retired it.
+//
+// Synchronisation is a single std::mutex plus two condition variables —
+// deliberately boring. Unlike the OpenMP fork/join edges in parallel.hpp
+// (libgomp futexes TSan cannot see, hence the GRB_TSAN_* re-annotations
+// there), std::mutex/std::condition_variable are native happens-before
+// edges for ThreadSanitizer, so this file needs **no** annotations and TSan
+// retains full visibility of the hand-off: a producer that publishes an
+// epoch before finishing its slot write is reported as a data race (the
+// seeded regression test in tests/grb/pipeline_test.cpp proves the lane
+// sees it). The repo lint (tools/lint_invariants.py, rule raw-thread)
+// confines std::thread / std::condition_variable to src/grb/detail/ for the
+// same reason the omp-pragma rule confines pragmas to parallel.hpp: every
+// cross-thread edge in the library lives where it can be audited at once.
+//
+// Hand-off protocol (producer side):
+//   const std::uint64_t e = pipe.reserve();   // throws if window is full
+//   slots[e % depth] = ...;                   // caller-owned slot write
+//   pipe.publish(e);                          // makes e visible to workers
+//   ...
+//   pipe.wait_retired(e);                     // all workers finished e
+//   // read worker results for e, then:
+//   pipe.release(e);                          // frees e's window slot
+//
+// reserve() *throws* (grb::InvalidValue) on a full window instead of
+// blocking: the producer is also the drain thread, so blocking here would
+// deadlock — callers drain the oldest epoch first (see
+// shard::GrbPipelinedEngine::update_stream).
+//
+// Failure policy: the first exception a stage throws is captured; workers
+// skip the stage for later epochs but keep retiring them (fast drain), and
+// wait_retired() rethrows the captured exception. The pipeline is dead
+// after a failure — reserve() rethrows too, so a producer loop cannot keep
+// feeding a poisoned pipeline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "grb/types.hpp"
+
+namespace grb::detail {
+
+class EpochPipeline {
+ public:
+  /// Stage body: called as stage(worker, epoch) on worker thread `worker`
+  /// for every published epoch, in strictly increasing epoch order per
+  /// worker. Different workers may be on different epochs simultaneously.
+  using Stage = std::function<void(std::size_t worker, std::uint64_t epoch)>;
+
+  EpochPipeline(std::size_t workers, std::size_t depth, Stage stage)
+      : depth_(depth), stage_(std::move(stage)), retired_(workers, 0) {
+    if (workers == 0) throw InvalidValue("EpochPipeline: need >= 1 worker");
+    if (depth == 0) throw InvalidValue("EpochPipeline: need depth >= 1");
+    if (!stage_) throw InvalidValue("EpochPipeline: stage must be callable");
+    threads_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { run_worker(w); });
+    }
+  }
+
+  EpochPipeline(const EpochPipeline&) = delete;
+  EpochPipeline& operator=(const EpochPipeline&) = delete;
+
+  /// Drains every *published* epoch, then joins the workers. Reserved-but-
+  /// unpublished epochs are abandoned.
+  ~EpochPipeline() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Claims the next epoch number. Throws grb::InvalidValue if the window
+  /// already holds `depth` un-released epochs (callers must drain first),
+  /// and rethrows the stage failure if the pipeline is poisoned. After
+  /// reserve(), the caller owns slot (epoch % depth) until publish().
+  [[nodiscard]] std::uint64_t reserve() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rethrow_if_failed_locked();
+    if (next_ - released_ >= depth_) {
+      throw InvalidValue(
+          "EpochPipeline: window full (depth " + std::to_string(depth_) +
+          ") — wait_retired()/release() the oldest epoch before reserving");
+    }
+    return next_++;
+  }
+
+  /// Makes a reserved epoch visible to the workers. Epochs must be
+  /// published in reserve order (single-producer contract).
+  void publish(std::uint64_t epoch) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (epoch != published_) {
+        throw InvalidValue("EpochPipeline: publish out of order (epoch " +
+                           std::to_string(epoch) + ", expected " +
+                           std::to_string(published_) + ")");
+      }
+      published_ = epoch + 1;
+    }
+    cv_work_.notify_all();
+  }
+
+  /// Blocks until every worker has retired `epoch`. Rethrows the first
+  /// stage exception if any stage failed at or before this epoch.
+  void wait_retired(std::uint64_t epoch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (epoch >= published_) {
+      throw InvalidValue("EpochPipeline: wait_retired(" +
+                         std::to_string(epoch) + ") on unpublished epoch");
+    }
+    cv_retired_.wait(lock, [&] {
+      return failure_ != nullptr || min_retired_locked() > epoch;
+    });
+    rethrow_if_failed_locked();
+  }
+
+  /// Frees the window slot of an epoch the caller has finished merging.
+  /// Only call after wait_retired(epoch) — the slot may be overwritten by
+  /// the producer immediately afterwards.
+  void release(std::uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoch + 1 > released_) released_ = epoch + 1;
+  }
+
+  /// Epochs the given worker has fully retired (== its next epoch).
+  [[nodiscard]] std::uint64_t retired_by(std::size_t worker) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return retired_[worker];
+  }
+
+  /// Epochs every worker has retired (the publication barrier's frontier).
+  [[nodiscard]] std::uint64_t min_retired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return min_retired_locked();
+  }
+
+  /// Reserved-but-not-released epochs currently occupying the window.
+  [[nodiscard]] std::size_t in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::size_t>(next_ - released_);
+  }
+
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return threads_.size();
+  }
+
+ private:
+  void run_worker(std::size_t w) {
+    for (std::uint64_t e = 0;; ++e) {
+      bool skip = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [&] { return stop_ || published_ > e; });
+        if (published_ <= e) return;  // stopped with nothing left to drain
+        skip = failure_ != nullptr;   // poisoned: retire without running
+      }
+      if (!skip) {
+        try {
+          stage_(w, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!failure_) failure_ = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        retired_[w] = e + 1;
+      }
+      cv_retired_.notify_all();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t min_retired_locked() const {
+    std::uint64_t lo = retired_.empty() ? 0 : retired_[0];
+    for (const std::uint64_t r : retired_) {
+      if (r < lo) lo = r;
+    }
+    return lo;
+  }
+
+  void rethrow_if_failed_locked() const {
+    if (failure_) std::rethrow_exception(failure_);
+  }
+
+  const std::size_t depth_;
+  Stage stage_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;     // producer -> workers: new epoch
+  std::condition_variable cv_retired_;  // workers -> producer: epoch done
+  std::uint64_t next_ = 0;              // epochs reserved
+  std::uint64_t published_ = 0;         // epochs visible to workers
+  std::uint64_t released_ = 0;          // window slots freed by the producer
+  std::vector<std::uint64_t> retired_;  // per-worker retire cursor
+  std::exception_ptr failure_;          // first stage exception
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;  // last member: joins before the rest
+};
+
+}  // namespace grb::detail

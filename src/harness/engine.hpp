@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "model/change.hpp"
 #include "model/social_graph.hpp"
@@ -34,6 +35,19 @@ class Engine {
 
   /// "Update and reevaluation": apply one change set, return the new answer.
   virtual std::string update(const sm::ChangeSet& cs) = 0;
+
+  /// Streamed update phase: apply every change set in order and return one
+  /// answer per set — answers[i] is the state after changes[i]. The default
+  /// is the strictly serial schedule (a loop over update()); engines with
+  /// an ingestion pipeline override this to overlap change sets while
+  /// returning the byte-identical answer sequence.
+  virtual std::vector<std::string> update_stream(
+      const std::vector<sm::ChangeSet>& changes) {
+    std::vector<std::string> answers;
+    answers.reserve(changes.size());
+    for (const sm::ChangeSet& cs : changes) answers.push_back(update(cs));
+    return answers;
+  }
 };
 
 using EnginePtr = std::unique_ptr<Engine>;

@@ -3,6 +3,7 @@
 #include "nmf/nmf_batch.hpp"
 #include "nmf/nmf_incremental.hpp"
 #include "queries/engines.hpp"
+#include "shard/pipelined_engine.hpp"
 #include "shard/sharded_engines.hpp"
 
 namespace harness {
@@ -24,6 +25,7 @@ const std::vector<ToolSpec>& all_tools() {
     std::vector<ToolSpec> tools = fig5_tools();
     tools.push_back({"GraphBLAS Incremental+CC", "grb-incremental-cc", 1});
     for (const ToolSpec& t : sharded_tools(4)) tools.push_back(t);
+    for (const ToolSpec& t : pipelined_tools(4, 2)) tools.push_back(t);
     return tools;
   }();
   return kTools;
@@ -40,12 +42,31 @@ std::vector<ToolSpec> sharded_tools(int shards) {
   };
 }
 
+std::vector<ToolSpec> pipelined_tools(int shards, int depth) {
+  const std::string suffix = " (" + std::to_string(shards) +
+                             (shards == 1 ? " shard" : " shards") +
+                             ", depth " + std::to_string(depth) + ")";
+  std::vector<ToolSpec> tools = {
+      {"GraphBLAS Pipelined Batch" + suffix, "grb-pipelined-batch", 1,
+       shards},
+      {"GraphBLAS Pipelined Incremental" + suffix, "grb-pipelined-incremental",
+       1, shards},
+  };
+  for (ToolSpec& t : tools) t.pipeline = depth;
+  return tools;
+}
+
 EnginePtr make_engine(const std::string& key, Query q) {
   if (key.rfind("grb-sharded-", 0) == 0) {
     // A sharded engine without a shard count would silently pick one; make
     // the caller say it via the ToolSpec overload (or sharded_tools(N)).
     throw grb::InvalidValue("sharded engine key '" + key +
                             "' needs a ToolSpec with a shard count");
+  }
+  if (key.rfind("grb-pipelined-", 0) == 0) {
+    throw grb::InvalidValue("pipelined engine key '" + key +
+                            "' needs a ToolSpec with shard count and "
+                            "pipeline depth");
   }
   ToolSpec spec;
   spec.key = key;
@@ -68,6 +89,19 @@ EnginePtr make_engine(const ToolSpec& tool, Query q) {
     return shard::make_sharded_engine(
         key == "grb-sharded-batch" ? "sharded-batch" : "sharded-incremental",
         q, static_cast<std::size_t>(tool.shards));
+  }
+  if (key == "grb-pipelined-batch" || key == "grb-pipelined-incremental") {
+    if (tool.shards < 1) {
+      throw grb::InvalidValue("pipelined engine needs shards >= 1");
+    }
+    if (tool.pipeline < 1) {
+      throw grb::InvalidValue("pipelined engine needs pipeline depth >= 1");
+    }
+    return shard::make_pipelined_engine(
+        key == "grb-pipelined-batch" ? "pipelined-batch"
+                                     : "pipelined-incremental",
+        q, static_cast<std::size_t>(tool.shards),
+        static_cast<std::size_t>(tool.pipeline));
   }
   if (key == "nmf-batch") return std::make_unique<nmf::NmfBatchEngine>(q);
   if (key == "nmf-incremental") {

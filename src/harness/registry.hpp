@@ -21,8 +21,13 @@ struct ToolSpec {
   /// grb thread cap while this tool runs (NMF tools are single-threaded, as
   /// the reference implementation is).
   int threads = 1;
-  /// Shard count for the grb-sharded-* engines (ignored by the others).
+  /// Shard count for the grb-sharded-* / grb-pipelined-* engines (ignored
+  /// by the others).
   int shards = 1;
+  /// Ingestion-pipeline depth for the grb-pipelined-* engines: how many
+  /// change sets may be in flight across the shard workers at once. 0 for
+  /// every serial tool.
+  int pipeline = 0;
 };
 
 /// The six tools of Fig. 5, in the paper's legend order.
@@ -36,6 +41,14 @@ const std::vector<ToolSpec>& all_tools();
 /// (the per-shard fan-out is the parallelism axis these tools measure).
 /// fig5_runtime appends these for --shards=N runs.
 std::vector<ToolSpec> sharded_tools(int shards);
+
+/// The pipelined engine pair: sharded engines whose update phase runs
+/// through the asynchronous ingestion pipeline (up to `depth` change sets
+/// in flight). threads=1 — the per-shard parallelism comes from the
+/// pipeline's dedicated worker threads, not an OpenMP team, so the OpenMP
+/// cap stays out of their way. fig5_runtime appends these for
+/// --pipeline=DEPTH runs.
+std::vector<ToolSpec> pipelined_tools(int shards, int depth);
 
 /// Instantiates an engine by factory key; throws grb::InvalidValue for
 /// unknown keys. The grb-sharded-* keys need a shard count and are only

@@ -29,9 +29,11 @@ std::vector<sm::SocialGraph> ChangeSetRouter::split_graph(
     const sm::SocialGraph& g) {
   const std::size_t n = num_shards();
   std::vector<sm::SocialGraph> parts(n);
-  // A re-load starts a fresh comment registry; stale mappings from a
-  // previous graph would mis-route (or fail to reject) ids it never had.
+  // A re-load starts a fresh comment registry and sequence numbering; stale
+  // mappings from a previous graph would mis-route (or fail to reject) ids
+  // it never had.
   comment_root_.clear();
+  next_seq_ = 0;
 
   // Replicated entities first, in global dense order, so every shard assigns
   // the same dense user/post ids as the unsharded state does.
@@ -68,7 +70,7 @@ std::vector<sm::SocialGraph> ChangeSetRouter::split_graph(
   return parts;
 }
 
-std::vector<sm::ChangeSet> ChangeSetRouter::route(const sm::ChangeSet& cs) {
+RoutedChangeSet ChangeSetRouter::route(const sm::ChangeSet& cs) {
   const std::size_t n = num_shards();
   std::vector<sm::ChangeSet> parts(n);
   const auto broadcast = [&](const sm::ChangeOp& op) {
@@ -123,7 +125,8 @@ std::vector<sm::ChangeSet> ChangeSetRouter::route(const sm::ChangeSet& cs) {
         op);
   }
   comment_root_.merge(staged);
-  return parts;
+  // Registration and the sequence stamp commit together, only on success.
+  return RoutedChangeSet{next_seq_++, std::move(parts)};
 }
 
 }  // namespace shard

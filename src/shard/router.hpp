@@ -18,6 +18,7 @@
 // per-shard answers stay aligned with the step index).
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,18 @@
 #include "shard/partitioner.hpp"
 
 namespace shard {
+
+/// One change set, routed: per-shard pieces (index = shard id) plus the
+/// router-stamped sequence number (0-based count of sets routed since the
+/// last split_graph). Route once, apply many: both the serial path
+/// (ShardedGrbState::apply_routed) and the ingestion pipeline
+/// (ShardedGrbState::apply_async) consume this value without re-splitting,
+/// so routing work is paid exactly once per change set regardless of how
+/// many times — or on which thread — it is applied.
+struct RoutedChangeSet {
+  std::uint64_t seq = 0;
+  std::vector<sm::ChangeSet> parts;
+};
 
 class ChangeSetRouter {
  public:
@@ -45,10 +58,13 @@ class ChangeSetRouter {
   [[nodiscard]] std::vector<sm::SocialGraph> split_graph(
       const sm::SocialGraph& g);
 
-  /// Splits one change set into per-shard change sets (index = shard id).
-  /// New comments are registered as they stream through, so a comment may
-  /// be referenced (as a parent or like target) later in the same set.
-  [[nodiscard]] std::vector<sm::ChangeSet> route(const sm::ChangeSet& cs);
+  /// Splits one change set into a RoutedChangeSet (per-shard pieces,
+  /// index = shard id, stamped with the routing sequence number). New
+  /// comments are registered as they stream through, so a comment may be
+  /// referenced (as a parent or like target) later in the same set. The
+  /// router is stateful (comment registry, sequence stamp): route() is a
+  /// single-producer operation — exactly the pipeline's producer thread.
+  [[nodiscard]] RoutedChangeSet route(const sm::ChangeSet& cs);
 
   /// Owner shard of a known comment; throws grb::InvalidValue for ids the
   /// router has never seen.
@@ -63,6 +79,9 @@ class ChangeSetRouter {
   /// router is the only place that still sees the global comment tree; the
   /// per-shard states never need a cross-shard parent lookup.
   std::unordered_map<sm::NodeId, sm::NodeId> comment_root_;
+  /// Change sets routed since the last split_graph (the RoutedChangeSet
+  /// sequence stamp). A throwing route() does not consume a number.
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace shard

@@ -120,7 +120,9 @@ TEST(Router, RouteBroadcastsReplicatedOpsAndOwnsTheRest) {
   cs.ops.push_back(sm::AddLikes{4, 203});
   cs.ops.push_back(sm::AddFriendship{4, 5});
   cs.ops.push_back(sm::RemoveLikes{1, 200});
-  const auto parts = router.route(cs);
+  const shard::RoutedChangeSet routed = router.route(cs);
+  EXPECT_EQ(routed.seq, 0u);  // first set routed since split_graph
+  const auto& parts = routed.parts;
   ASSERT_EQ(parts.size(), 3u);
 
   // Broadcast ops are everywhere, in order.
@@ -166,7 +168,7 @@ TEST(Router, NettingSurvivesRouting) {
   cs.ops.push_back(sm::AddLikes{4, 202});
   cs.ops.push_back(sm::RemoveLikes{4, 202});
   cs.ops.push_back(sm::AddLikes{4, 202});
-  const auto parts = router.route(cs);
+  const auto& parts = router.route(cs).parts;
   const std::size_t owner = 202 % 4;
   for (std::size_t s = 0; s < parts.size(); ++s) {
     if (s == owner) {
@@ -223,7 +225,8 @@ TEST(Router, ThrowingRouteRegistersNothing) {
   good.ops.push_back(sm::AddComment{301, 3001, /*parent_is_comment=*/true,
                                     300, 1});
   good.ops.push_back(sm::AddLikes{1, 301});
-  EXPECT_NO_THROW((void)router.route(good));
+  // The failed route consumed no sequence number either.
+  EXPECT_EQ(router.route(good).seq, 0u);
   EXPECT_EQ(router.root_post_of(301), 100u);
 }
 

@@ -22,6 +22,14 @@ on — the ones clang-tidy cannot know about:
                         library code (src/): all randomness flows through
                         the seeded support/rng.hpp engines so every run is
                         reproducible from its --seed.
+  raw-thread            std::thread / std::jthread / std::condition_variable
+                        are banned outside src/grb/detail/: thread lifetime
+                        and hand-off edges live behind the EpochPipeline and
+                        parallel.hpp abstractions, where the TSan story
+                        (native mutex/cv edges vs re-annotated libgomp
+                        barriers) is established once. std::thread::id and
+                        this_thread remain fine — only ownership primitives
+                        are confined.
 
 A line may opt out of one rule with a trailing `lint:allow(<rule-id>)`
 marker (inside a comment), mirroring clang-tidy's NOLINT. Use sparingly and
@@ -55,12 +63,21 @@ BLOCK_COMMENT_LINE = re.compile(r"^\s*(/\*|\*)")
 
 
 class Rule:
-    def __init__(self, rule_id, pattern, message, dirs, allowed_files):
+    def __init__(self, rule_id, pattern, message, dirs, allowed_files,
+                 allowed_prefixes=()):
         self.rule_id = rule_id
         self.pattern = re.compile(pattern)
         self.message = message
         self.dirs = dirs  # top-level dirs the rule applies to
         self.allowed_files = allowed_files  # repo-relative posix paths exempt
+        # Repo-relative posix directory prefixes (trailing slash) whose whole
+        # subtree is exempt — for invariants confined to a layer, not a file.
+        self.allowed_prefixes = tuple(allowed_prefixes)
+
+    def exempt(self, rel):
+        return rel in self.allowed_files or any(
+            rel.startswith(p) for p in self.allowed_prefixes
+        )
 
 
 RULES = [
@@ -96,6 +113,19 @@ RULES = [
         ("src",),
         {"src/support/rng.hpp"},
     ),
+    Rule(
+        # `thread\b(?!::)` keeps std::thread::id / std::thread::hardware_
+        # concurrency legal — only owning a thread (or a cv hand-off edge)
+        # is confined to the detail layer.
+        "raw-thread",
+        r"\bstd::(?:jthread\b|condition_variable|thread\b(?!::))",
+        "raw thread/cv ownership outside src/grb/detail/ — hand epochs to "
+        "workers through grb::detail::EpochPipeline (grb/detail/"
+        "pipeline.hpp) or use the parallel.hpp primitives",
+        ("src", "bench", "examples"),
+        set(),
+        ("src/grb/detail/",),
+    ),
 ]
 
 
@@ -124,7 +154,7 @@ def scan(root):
     for rule in RULES:
         for path in files_by_dirs[rule.dirs]:
             rel = os.path.relpath(path, root).replace(os.sep, "/")
-            if rel in rule.allowed_files:
+            if rule.exempt(rel):
                 continue
             try:
                 with open(path, encoding="utf-8", errors="replace") as f:
@@ -171,6 +201,25 @@ def self_test():
             "#include <random>\n"
             "int seed() { return static_cast<int>(std::random_device{}()); }\n",
             {"raw-rng"},
+        ),
+        # A hand-rolled worker thread and cv outside the detail layer.
+        "src/worker_pool.cpp": (
+            "#include <thread>\n"
+            "std::thread t([] {});\n"
+            "std::condition_variable cv;\n",
+            {"raw-thread"},
+        ),
+        # The detail layer itself may own threads (prefix exemption) ...
+        "src/grb/detail/pipeline2.hpp": (
+            "#include <thread>\n"
+            "std::vector<std::thread> threads_;\n",
+            set(),
+        ),
+        # ... and non-owning thread identity is legal anywhere.
+        "src/logger.cpp": (
+            "#include <thread>\n"
+            "std::thread::id last = std::this_thread::get_id();\n",
+            set(),
         ),
         # Clean + suppressed content must NOT fire.
         "src/clean.cpp": (
