@@ -251,6 +251,10 @@ int main(int argc, char** argv) {
   // The pipelined tools shard too; without an explicit --shards they run at
   // the registry's default 4-shard configuration.
   const int pshards = shards > 0 ? shards : 4;
+  // Read unconditionally so reject_unqueried below treats it as known even
+  // without --pipeline; 0 = "the largest benchmarked scale".
+  const auto throughput_sf =
+      static_cast<unsigned>(flags.get_int("throughput-sf", 0));
   const std::string json_path = flags.get("json", "");
   std::vector<harness::ToolSpec> tools = harness::fig5_tools();
   if (flags.get_bool("extension", false)) {
@@ -265,6 +269,9 @@ int main(int argc, char** argv) {
     }
   }
   const std::string tools_sel = flags.get("tools", "");
+  // Every flag has been read; a typo'd name (--shard=4, --pipelin=2) must
+  // fail loudly instead of silently benchmarking the default configuration.
+  flags.reject_unqueried("fig5_runtime");
   if (!tools_sel.empty()) {
     std::erase_if(tools, [&](const harness::ToolSpec& t) {
       return t.label.find(tools_sel) == std::string::npos;
@@ -350,9 +357,9 @@ int main(int argc, char** argv) {
   // test suite and in --smoke), so this isolates pure schedule overhead.
   ThroughputResult tr;
   if (pipeline > 0) {
-    const auto tsf = static_cast<unsigned>(
-        flags.get_int("throughput-sf", static_cast<long long>(
-                                           scales.empty() ? 1 : scales.back())));
+    const unsigned tsf = throughput_sf != 0
+                             ? throughput_sf
+                             : (scales.empty() ? 1 : scales.back());
     datagen::Dataset tp_ds_storage;
     const datagen::Dataset* tp_ds = &top_ds;
     if (scales.empty() || tsf != scales.back()) {

@@ -45,6 +45,9 @@ int main(int argc, char** argv) {
       query_name == "Q2" ? harness::Query::kQ2 : harness::Query::kQ1;
   const int runs = static_cast<int>(flags.get_int("runs", 1));
   const int threads = static_cast<int>(flags.get_int("threads", 1));
+  // A typo'd flag (--thread=8, --quey=Q2) must fail loudly instead of
+  // silently running the default configuration.
+  flags.reject_unqueried("ttc_runner");
 
   const auto& tool = harness::find_tool(tool_key);
   const grb::ThreadGuard guard(threads);

@@ -1,0 +1,318 @@
+#include "daemon/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/engine.hpp"
+
+namespace grbd {
+
+using shard::GrbPipelinedEngine;
+
+Server::Server(ServerConfig cfg)
+    : cfg_(cfg),
+      q1_(std::make_unique<GrbPipelinedEngine>(
+          harness::Query::kQ1, GrbPipelinedEngine::Mode::kIncremental,
+          cfg.shards, cfg.depth)),
+      q2_(std::make_unique<GrbPipelinedEngine>(
+          harness::Query::kQ2, GrbPipelinedEngine::Mode::kIncremental,
+          cfg.shards, cfg.depth)),
+      store_(cfg.retain) {}
+
+Server::~Server() {
+  request_shutdown();
+  if (writer_.joinable()) writer_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) t.join();
+}
+
+void Server::load(const sm::SocialGraph& g) {
+  q1_->load(g);
+  q2_->load(g);
+  Snapshot s0;
+  s0.epoch = 0;
+  s0.q1 = q1_->initial();
+  s0.q2 = q2_->initial();
+  store_.publish(std::move(s0));
+  writer_ = std::thread(&Server::writer_loop, this);
+}
+
+std::uint64_t Server::enqueue(sm::ChangeSet cs) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (stop_.load(std::memory_order_relaxed)) return 0;
+  queue_.push_back(std::move(cs));
+  const std::uint64_t epoch = next_epoch_++;
+  ingest_cv_.notify_one();
+  return epoch;
+}
+
+std::uint64_t Server::last_assigned() const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return next_epoch_ - 1;
+}
+
+void Server::writer_loop() {
+  try {
+    writer_loop_body();
+  } catch (const std::exception& e) {
+    // An engine failure (e.g. a semantically invalid change set poisoning
+    // the pipeline) must not std::terminate the daemon; stop ingesting and
+    // let pinned readers drain what was published.
+    std::fprintf(stderr, "grb_daemon: writer failed: %s\n", e.what());
+    request_shutdown();
+  }
+}
+
+void Server::writer_loop_body() {
+  // Single consumer; the engines are touched by this thread only.
+  for (;;) {
+    sm::ChangeSet cs;
+    bool have_cs = false;
+    {
+      std::unique_lock<std::mutex> lock(ingest_mu_);
+      if (q1_->in_flight() == 0) {
+        // Nothing to merge — sleep until there is work or we are told to
+        // stop. (in_flight() reads this thread's own counters; safe.)
+        ingest_cv_.wait(lock, [this] {
+          return stop_.load(std::memory_order_relaxed) || !queue_.empty();
+        });
+        if (queue_.empty()) return;  // stop_ with a drained queue
+      }
+      if (!queue_.empty() && q1_->in_flight() < cfg_.depth) {
+        cs = std::move(queue_.front());
+        queue_.pop_front();
+        have_cs = true;
+      }
+    }
+    if (have_cs) {
+      // Window open: keep it full before spending time merging.
+      q1_->submit(cs);
+      q2_->submit(cs);
+      continue;
+    }
+    // Window full, or the queue idled with epochs still in flight.
+    merge_and_publish();
+  }
+}
+
+void Server::merge_and_publish() {
+  GrbPipelinedEngine::Merged m1 = q1_->merge_one();
+  GrbPipelinedEngine::Merged m2 = q2_->merge_one();
+  Snapshot snap;
+  snap.epoch = m1.epoch + 1;  // engine epochs are 0-based, snapshot 0 = load
+  snap.q1 = std::move(m1.answer);
+  snap.q2 = std::move(m2.answer);
+  // Count before publishing: the release store inside publish() makes the
+  // counter visible to any reader that can already see the snapshot.
+  applied_.fetch_add(1, std::memory_order_relaxed);
+  store_.publish(std::move(snap));
+}
+
+void Server::drain() {
+  const std::uint64_t target = last_assigned();
+  if (target == 0) return;
+  // Generous: drain is only bounded by merge throughput, not clients.
+  while (!store_.wait_published(target, std::chrono::milliseconds(500))) {
+    std::uint64_t latest = 0;
+    (void)store_.latest_epoch(latest);
+    if (latest >= target) break;
+  }
+}
+
+void Server::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    if (stop_.exchange(true, std::memory_order_relaxed)) return;
+  }
+  ingest_cv_.notify_all();
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  (void)store_.latest_epoch(s.latest_epoch);
+  s.applied = applied_.load(std::memory_order_relaxed);
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.retained = store_.size();
+  const std::uint64_t assigned = last_assigned();
+  s.in_flight = assigned > s.latest_epoch ? assigned - s.latest_epoch : 0;
+  return s;
+}
+
+bool Server::handle_frame(const Frame& f, int out_fd) {
+  switch (f.type) {
+    case MsgType::kHello: {
+      PayloadReader in(f.payload);
+      in.expect_done();
+      PayloadWriter out;
+      std::uint64_t latest = 0;
+      (void)store_.latest_epoch(latest);
+      out.u64(latest);
+      out.u32(static_cast<std::uint32_t>(cfg_.shards));
+      out.u32(static_cast<std::uint32_t>(cfg_.depth));
+      out.u32(static_cast<std::uint32_t>(cfg_.retain));
+      return write_frame(out_fd, MsgType::kHelloOk, out.data());
+    }
+    case MsgType::kApply: {
+      PayloadReader in(f.payload);
+      sm::ChangeSet cs = decode_change_set(in);
+      in.expect_done();
+      const std::uint64_t epoch = enqueue(std::move(cs));
+      if (epoch == 0) {
+        return write_error(out_fd, ErrorCode::kShuttingDown,
+                           "server is shutting down");
+      }
+      PayloadWriter out;
+      out.u64(epoch);
+      return write_frame(out_fd, MsgType::kApplied, out.data());
+    }
+    case MsgType::kQuery: {
+      PayloadReader in(f.payload);
+      const std::uint8_t which = in.u8();
+      const std::uint64_t pin = in.u64();
+      in.expect_done();
+      if (which != kQueryQ1 && which != kQueryQ2) {
+        throw ProtocolError("unknown query selector " +
+                            std::to_string(which));
+      }
+      SnapshotPtr snap;  // the pin: one atomic load, never blocks the writer
+      if (pin == kLatestEpoch) {
+        snap = store_.latest();
+      } else {
+        snap = store_.wait_published(pin, cfg_.query_wait);
+        if (!snap) {
+          return write_error(
+              out_fd,
+              store_.evicted(pin) ? ErrorCode::kEvicted : ErrorCode::kNotReady,
+              "epoch " + std::to_string(pin) +
+                  (store_.evicted(pin) ? " left the retention window"
+                                       : " was not published in time"));
+        }
+      }
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      PayloadWriter out;
+      out.u64(snap->epoch);
+      out.str(which == kQueryQ1 ? snap->q1 : snap->q2);
+      return write_frame(out_fd, MsgType::kAnswer, out.data());
+    }
+    case MsgType::kStats: {
+      PayloadReader in(f.payload);
+      in.expect_done();
+      const Stats s = stats();
+      PayloadWriter out;
+      out.u64(s.latest_epoch);
+      out.u64(s.applied);
+      out.u64(s.queries);
+      out.u64(s.retained);
+      out.u64(s.in_flight);
+      return write_frame(out_fd, MsgType::kStatsOk, out.data());
+    }
+    case MsgType::kShutdown: {
+      (void)write_frame(out_fd, MsgType::kOk);
+      request_shutdown();
+      return false;
+    }
+    default:
+      return write_error(out_fd, ErrorCode::kBadRequest,
+                         "unknown message type " +
+                             std::to_string(static_cast<unsigned>(f.type)));
+  }
+}
+
+void Server::serve_connection(int in_fd, int out_fd) {
+  for (;;) {
+    std::optional<Frame> f;
+    try {
+      f = read_frame(in_fd, cfg_.max_frame);
+    } catch (const ProtocolError& e) {
+      // Framing is lost (truncation / oversize) — tell the peer if it is
+      // still there, then drop the connection. The daemon itself lives on.
+      (void)write_error(out_fd, ErrorCode::kBadRequest, e.what());
+      return;
+    }
+    if (!f) return;  // clean EOF between frames
+    try {
+      if (!handle_frame(*f, out_fd)) return;
+    } catch (const ProtocolError& e) {
+      // Bad payload inside an intact frame: recoverable, keep serving.
+      if (!write_error(out_fd, ErrorCode::kBadRequest, e.what())) return;
+    }
+  }
+}
+
+int Server::serve_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stop_.load(std::memory_order_relaxed)) {
+      ::close(fd);  // shutdown raced ahead of the bind
+      return 0;
+    }
+    listen_fd_ = fd;
+  }
+  for (;;) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen fd was shut down — time to leave
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    live_fds_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] {
+      serve_connection(conn, conn);
+      {
+        // De-list before close so request_shutdown never touches a
+        // recycled descriptor number.
+        std::lock_guard<std::mutex> inner(conns_mu_);
+        live_fds_.erase(std::find(live_fds_.begin(), live_fds_.end(), conn));
+      }
+      ::close(conn);
+    });
+  }
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) t.join();
+  // Publish every epoch clients were promised before the process exits.
+  drain();
+  return 0;
+}
+
+}  // namespace grbd

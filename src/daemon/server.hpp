@@ -1,0 +1,139 @@
+// The grb_daemon service core: one long-running Server wraps a pair of
+// pipelined engines (Q1 + Q2, same shard layout) behind the wire protocol
+// of protocol.hpp.
+//
+// Threading model — exactly one writer, any number of readers:
+//
+//   * Connection threads never touch the engines. A kApply enqueues the
+//     decoded change set (mutex+cv queue) and immediately learns its epoch
+//     number; a kQuery pins a snapshot in the EpochStore with one atomic
+//     load and serves from it. Readers therefore never block the apply
+//     path, and the apply path never blocks readers.
+//   * The single writer thread drains the queue into the engines'
+//     streaming API with a window-filling policy: while the ingest queue
+//     has work and the pipeline window is open, submit() — keeping up to
+//     `depth` change sets in flight across the shard workers; when the
+//     window is full or the queue idles, merge_one() the oldest epoch from
+//     both engines and publish its Snapshot. Under load the window stays
+//     full (maximum overlap); under trickle load every change set still
+//     publishes promptly.
+//
+// Epoch numbering: snapshot 0 is the initial evaluation; change set k
+// (1-based, in enqueue order) publishes snapshot k. Because the writer is
+// the merge thread and the merge replays the serial schedule, every
+// published answer is byte-identical to the serial oracle at that epoch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/epoch_store.hpp"
+#include "daemon/protocol.hpp"
+#include "model/social_graph.hpp"
+#include "shard/pipelined_engine.hpp"
+
+namespace grbd {
+
+struct ServerConfig {
+  std::size_t shards = 4;
+  std::size_t depth = 4;
+  /// Snapshots kept for epoch-pinned readers.
+  std::size_t retain = 64;
+  std::size_t max_frame = kDefaultMaxFrame;
+  /// How long a kQuery pinned to a future epoch may wait for it.
+  std::chrono::milliseconds query_wait{5000};
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads both engines, publishes snapshot 0 (the initial evaluation) and
+  /// starts the writer thread. Must be called exactly once, before any
+  /// connection is served.
+  void load(const sm::SocialGraph& g);
+
+  /// Queues one change set for ingestion. Returns its (1-based) epoch
+  /// number — the snapshot it will publish — or 0 when the server is
+  /// shutting down and refuses new writes. Thread-safe.
+  std::uint64_t enqueue(sm::ChangeSet cs);
+
+  /// Serves one client on an fd pair (equal for sockets, distinct for
+  /// stdio/pipe transports) until EOF, a fatal framing error, a vanished
+  /// peer or a kShutdown. Runs on the caller's thread; any number may run
+  /// concurrently.
+  void serve_connection(int in_fd, int out_fd);
+
+  /// Binds a Unix-domain socket at `path` (replacing a stale file) and
+  /// accepts connections — one thread each — until request_shutdown().
+  /// Returns 0, or -1 with errno set when the socket cannot be set up.
+  int serve_unix(const std::string& path);
+
+  /// Stops accepting, unblocks every live connection, and tells the writer
+  /// to drain the queue and exit. Thread-safe, idempotent.
+  void request_shutdown();
+
+  /// Blocks until everything enqueued so far has been published (tests and
+  /// orderly shutdown use this).
+  void drain();
+
+  [[nodiscard]] const EpochStore& store() const noexcept { return store_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+
+  struct Stats {
+    std::uint64_t latest_epoch = 0;
+    std::uint64_t applied = 0;    ///< change sets merged + published
+    std::uint64_t queries = 0;    ///< answers served
+    std::uint64_t retained = 0;   ///< snapshots currently in the window
+    std::uint64_t in_flight = 0;  ///< enqueued but not yet published
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void writer_loop();
+  void writer_loop_body();
+  void merge_and_publish();
+  /// Handles one request frame; false = stop serving this connection.
+  bool handle_frame(const Frame& f, int out_fd);
+  /// Last epoch handed out by enqueue (0 before the first write).
+  [[nodiscard]] std::uint64_t last_assigned() const;
+
+  ServerConfig cfg_;
+  std::unique_ptr<shard::GrbPipelinedEngine> q1_;
+  std::unique_ptr<shard::GrbPipelinedEngine> q2_;
+  EpochStore store_;
+
+  // Ingest queue: connection threads push, the writer pops.
+  mutable std::mutex ingest_mu_;
+  std::condition_variable ingest_cv_;
+  std::deque<sm::ChangeSet> queue_;
+  std::uint64_t next_epoch_ = 1;  // snapshot 0 is the initial evaluation
+  /// Written under ingest_mu_ (so the writer's cv predicate is race-free);
+  /// atomic so serve_unix can also read it under conns_mu_ alone.
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> applied_{0};
+
+  // Unix-socket transport bookkeeping.
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> live_fds_;
+  int listen_fd_ = -1;
+
+  std::thread writer_;
+};
+
+}  // namespace grbd

@@ -40,7 +40,9 @@ class Engine {
   /// answer per set — answers[i] is the state after changes[i]. The default
   /// is the strictly serial schedule (a loop over update()); engines with
   /// an ingestion pipeline override this to overlap change sets while
-  /// returning the byte-identical answer sequence.
+  /// returning the byte-identical answer sequence. An empty stream is a
+  /// no-op for every engine: it returns an empty vector without reserving
+  /// an epoch or touching any publication barrier.
   virtual std::vector<std::string> update_stream(
       const std::vector<sm::ChangeSet>& changes) {
     std::vector<std::string> answers;

@@ -178,17 +178,32 @@ void GrbPipelinedEngine::ensure_pipeline() {
       });
 }
 
-void GrbPipelinedEngine::submit(const sm::ChangeSet& cs) {
+std::uint64_t GrbPipelinedEngine::submit(const sm::ChangeSet& cs) {
   if (mode_ == Mode::kIncremental &&
       scores_.size() != state_.num_shards()) {
     throw grb::InvalidValue(
         "GrbPipelinedEngine: initial() must run before updates (no "
         "maintained scores to advance)");
   }
+  if (in_flight() >= depth_) {
+    throw grb::InvalidValue(
+        "GrbPipelinedEngine::submit: window full (depth " +
+        std::to_string(depth_) + ") — merge_one() the oldest epoch first");
+  }
   ensure_pipeline();
   const std::uint64_t e = state_.apply_async(cs);
   (void)e;  // == submitted_: epochs are dense from begin_pipeline
-  ++submitted_;
+  return submitted_++;
+}
+
+GrbPipelinedEngine::Merged GrbPipelinedEngine::merge_one() {
+  if (in_flight() == 0) {
+    throw grb::InvalidValue(
+        "GrbPipelinedEngine::merge_one: no epochs in flight — submit() a "
+        "change set first");
+  }
+  const std::uint64_t e = merged_;
+  return Merged{e, merge_next()};
 }
 
 std::string GrbPipelinedEngine::merge_next() {
@@ -315,6 +330,10 @@ std::string GrbPipelinedEngine::update(const sm::ChangeSet& cs) {
 
 std::vector<std::string> GrbPipelinedEngine::update_stream(
     const std::vector<sm::ChangeSet>& changes) {
+  // An empty stream is a no-op: no epoch is reserved and the publication
+  // barrier is never touched — in particular the pipeline (and its worker
+  // threads) must not spin up for a caller that had nothing to ingest.
+  if (changes.empty()) return {};
   // The overlap schedule: keep up to `depth` epochs in flight, draining the
   // oldest only when the window is full (or the stream ends). Routing and
   // merging both happen on this thread — the producer is the consumer —

@@ -53,6 +53,34 @@ class GrbPipelinedEngine final : public harness::Engine {
   std::vector<std::string> update_stream(
       const std::vector<sm::ChangeSet>& changes) override;
 
+  // --- Streaming building blocks (the daemon's epoch-pinned read API) -----
+  // update()/update_stream() are compositions of these two; a long-running
+  // service drives them directly so it can keep the window full forever:
+  // submit change sets as they arrive, merge (and publish) the oldest epoch
+  // whenever the window is full or the ingest queue idles.
+
+  /// Submits one change set as the next epoch (starting the pipeline on
+  /// first use). Returns the epoch number, dense from 0 per load(). Throws
+  /// if the window already holds depth() un-merged epochs — merge_one()
+  /// first — or if initial() has not produced the epoch-0 view yet.
+  std::uint64_t submit(const sm::ChangeSet& cs);
+
+  /// The oldest submitted-but-unmerged epoch's answer, tagged with its
+  /// epoch number. Blocks on the publication barrier until every shard has
+  /// retired that epoch, folds its reports into the publisher-side mirrors
+  /// and frees its window slot. Throws grb::InvalidValue when nothing is
+  /// in flight.
+  struct Merged {
+    std::uint64_t epoch = 0;
+    std::string answer;
+  };
+  Merged merge_one();
+
+  /// Epochs submitted but not yet merged (bounded by depth()).
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return static_cast<std::size_t>(submitted_ - merged_);
+  }
+
   [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
   /// The underlying state — only safe to inspect with no epochs in flight
   /// (after update()/update_stream() return, the pipeline is drained).
@@ -82,7 +110,6 @@ class GrbPipelinedEngine final : public harness::Engine {
   };
 
   void ensure_pipeline();
-  void submit(const sm::ChangeSet& cs);
   /// Waits for the oldest un-merged epoch, folds its reports into the
   /// mirrors, replays the serial merge, releases the epoch and returns its
   /// answer.

@@ -1,9 +1,25 @@
 #include "support/flags.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 
 namespace grbsm::support {
+
+namespace {
+
+/// Strict-parse failure: name the flag, say what was expected, exit 2. A
+/// message on stderr beats an exception here — these fire during flag
+/// parsing in main(), where an uncaught throw would terminate without the
+/// flag name that makes the error actionable.
+[[noreturn]] void die_bad_value(const std::string& name, const char* expected,
+                                const std::string& value) {
+  std::fprintf(stderr, "error: --%s: expected %s, got '%s'\n", name.c_str(),
+               expected, value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -39,21 +55,41 @@ std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
   queried_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  // endptr + full-consumption check: "ten" parses nothing (end == begin),
+  // "4x" parses a prefix (end mid-string), "" parses nothing; ERANGE flags
+  // a clamped out-of-range value. All are hard errors, not silent zeros.
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) {
+    die_bad_value(name, "an integer", s);
+  }
+  return v;
 }
 
 double Flags::get_double(const std::string& name, double def) const {
   queried_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) {
+    die_bad_value(name, "a number", s);
+  }
+  return v;
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {
   queried_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& s = it->second;
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  die_bad_value(name, "a boolean (true/false/1/0/yes/no/on/off)", s);
 }
 
 std::vector<std::string> Flags::unqueried() const {
@@ -62,6 +98,19 @@ std::vector<std::string> Flags::unqueried() const {
     if (!queried_.count(name)) out.push_back(name);
   }
   return out;
+}
+
+void Flags::reject_unqueried(const std::string& tool) const {
+  const std::vector<std::string> unknown = unqueried();
+  if (unknown.empty()) return;
+  std::fprintf(stderr, "%s: unknown flag%s:", tool.c_str(),
+               unknown.size() > 1 ? "s" : "");
+  for (const std::string& name : unknown) {
+    std::fprintf(stderr, " --%s", name.c_str());
+  }
+  std::fprintf(stderr, "\n(check the spelling; run with --help if the tool "
+                       "documents one)\n");
+  std::exit(2);
 }
 
 }  // namespace grbsm::support

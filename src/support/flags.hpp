@@ -1,6 +1,14 @@
-// Tiny command-line flag parser for the bench/example binaries.
+// Tiny command-line flag parser for the bench/example/daemon binaries.
 // Accepts --name=value, --name value, and bare --name (boolean true).
-// Unknown flags are collected so google-benchmark flags can pass through.
+//
+// Typed accessors are strict: a malformed value (--pipeline=ten,
+// --shards=4x, --alpha=1.5z, --verbose=ture) terminates the process with
+// exit status 2 and a message naming the flag, instead of silently parsing
+// a prefix (strtoll would turn "ten" into 0 and "4x" into 4 — poison for a
+// daemon exposed to untrusted input). Unknown flags are collected so
+// google-benchmark flags can pass through; strict tools additionally call
+// reject_unqueried() after reading their flags so a typo'd flag name
+// (--shard=4 for --shards=4) cannot quietly run with defaults.
 #pragma once
 
 #include <cstdint>
@@ -18,9 +26,16 @@ class Flags {
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& def) const;
+  /// Exits 2 naming the flag unless the value is a fully-consumed,
+  /// in-range base-10 integer (an optional sign is fine).
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t def) const;
+  /// Exits 2 naming the flag unless the value is a fully-consumed, finite-
+  /// representable floating-point literal.
   [[nodiscard]] double get_double(const std::string& name, double def) const;
+  /// Accepts true/1/yes/on and false/0/no/off; any other spelling exits 2
+  /// naming the flag (a silent `false` for "--verify=ture" would disable
+  /// the very check the caller asked for).
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
 
   /// Positional (non-flag) arguments in order of appearance.
@@ -31,6 +46,11 @@ class Flags {
   /// Names seen on the command line but never queried — useful for
   /// "unknown flag" warnings in strict tools.
   [[nodiscard]] std::vector<std::string> unqueried() const;
+
+  /// Exits 2 listing every flag the tool never queried. Strict tools
+  /// (fig5_runtime, ttc_runner, grb_daemon, load_gen) call this once all
+  /// flags have been read; `tool` names the binary in the message.
+  void reject_unqueried(const std::string& tool) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -142,6 +142,88 @@ TEST(PipelineEquivalence, MidStreamDrainAndRefillMatches) {
   }
 }
 
+TEST(PipelineEquivalence, EmptyStreamIsANoOp) {
+  // update_stream({}) must return an empty answer vector without reserving
+  // an epoch or tripping the publication barrier — the daemon's writer
+  // loop can legitimately hand an engine an empty batch between bursts.
+  const auto ds = datagen::generate(datagen::params_for_scale(1, 42));
+  for (const Query q : {Query::kQ1, Query::kQ2}) {
+    const auto reference = harness::run_once(
+        harness::find_tool("grb-incremental"), q, ds.initial, ds.changes);
+
+    const ToolSpec tool = harness::pipelined_tools(2, 2)[1];
+    ASSERT_EQ(tool.key, "grb-pipelined-incremental");
+    harness::EnginePtr engine = harness::make_engine(tool, q);
+    engine->load(ds.initial);
+    ASSERT_EQ(engine->initial(), reference.initial_answer);
+
+    auto* pipelined = dynamic_cast<shard::GrbPipelinedEngine*>(engine.get());
+    ASSERT_NE(pipelined, nullptr);
+    EXPECT_TRUE(engine->update_stream({}).empty());
+    EXPECT_EQ(pipelined->in_flight(), 0u);
+    // No epoch was submitted, so the worker threads never even spun up.
+    EXPECT_FALSE(pipelined->state().pipeline_active());
+
+    // The engine is unharmed: the real stream still matches the serial
+    // schedule, and a trailing empty stream stays a no-op.
+    EXPECT_EQ(engine->update_stream(ds.changes), reference.update_answers);
+    EXPECT_TRUE(engine->update_stream({}).empty());
+    EXPECT_EQ(pipelined->in_flight(), 0u);
+  }
+}
+
+TEST(PipelineEquivalence, EmptyChangeSetWithinStreamIsAnEpoch) {
+  // An empty *change set* inside a stream is different from an empty
+  // stream: it is a real epoch whose answer equals the previous one, and
+  // the pipelined schedule must agree with the serial engines on it.
+  const auto ds = datagen::generate(datagen::params_for_scale(1, 7));
+  std::vector<sm::ChangeSet> changes = ds.changes;
+  changes.insert(changes.begin(), sm::ChangeSet{});
+  changes.insert(changes.begin() + 2, sm::ChangeSet{});
+  changes.push_back(sm::ChangeSet{});
+  for (const Query q : {Query::kQ1, Query::kQ2}) {
+    EXPECT_NO_THROW(harness::verify_tools(reference_and_pipelined(2, 4), q,
+                                          ds.initial, changes))
+        << "query=" << harness::query_name(q);
+  }
+}
+
+TEST(PipelineEquivalence, SubmitMergeOneStreamingApi) {
+  // The daemon's building blocks: submit() returns dense epochs, a full
+  // window throws instead of blocking, merge_one() returns epoch-tagged
+  // answers in order and merging with nothing in flight throws.
+  const auto ds = datagen::generate(datagen::params_for_scale(1, 42));
+  const auto reference =
+      harness::run_once(harness::find_tool("grb-incremental"),
+                        Query::kQ2, ds.initial, ds.changes);
+  ASSERT_GE(ds.changes.size(), 3u);
+
+  shard::GrbPipelinedEngine engine(
+      Query::kQ2, shard::GrbPipelinedEngine::Mode::kIncremental,
+      /*num_shards=*/2, /*depth=*/2);
+  engine.load(ds.initial);
+  EXPECT_THROW((void)engine.merge_one(), grb::InvalidValue);
+  ASSERT_EQ(engine.initial(), reference.initial_answer);
+
+  EXPECT_EQ(engine.submit(ds.changes[0]), 0u);
+  EXPECT_EQ(engine.submit(ds.changes[1]), 1u);
+  EXPECT_EQ(engine.in_flight(), 2u);
+  EXPECT_THROW((void)engine.submit(ds.changes[2]), grb::InvalidValue);
+
+  const auto m0 = engine.merge_one();
+  EXPECT_EQ(m0.epoch, 0u);
+  EXPECT_EQ(m0.answer, reference.update_answers[0]);
+  EXPECT_EQ(engine.submit(ds.changes[2]), 2u);
+  const auto m1 = engine.merge_one();
+  const auto m2 = engine.merge_one();
+  EXPECT_EQ(m1.epoch, 1u);
+  EXPECT_EQ(m1.answer, reference.update_answers[1]);
+  EXPECT_EQ(m2.epoch, 2u);
+  EXPECT_EQ(m2.answer, reference.update_answers[2]);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_THROW((void)engine.merge_one(), grb::InvalidValue);
+}
+
 TEST(PipelineEquivalence, ShardEpochCursorsAdvancePerShard) {
   // Direct state-level coverage of the pipeline API: per-shard epoch
   // cursors reach every submitted epoch at the barrier, release frees the

@@ -1,0 +1,148 @@
+// Hardening suite for the strict flag parser: malformed numeric values and
+// unknown boolean spellings must terminate with exit status 2 and a message
+// naming the flag — never parse silently as a prefix (the pre-hardening
+// parser turned --pipeline=ten into depth 0 and --shards=4x into 4, which a
+// daemon exposed to untrusted input cannot tolerate).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/flags.hpp"
+
+namespace {
+
+using grbsm::support::Flags;
+
+/// Builds a Flags over a literal argv (argv[0] is the program name).
+Flags make_flags(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Flags(static_cast<int>(argv.size()),
+               const_cast<char**>(argv.data()));
+}
+
+TEST(FlagsStrict, WellFormedIntegersParse) {
+  const Flags flags = make_flags({"--a=17", "--b", "42", "--neg=-5", "--z=0",
+                                  "--big=9223372036854775807", "--ws= 8"});
+  EXPECT_EQ(flags.get_int("a", 0), 17);
+  EXPECT_EQ(flags.get_int("b", 0), 42);  // --flag value spelling
+  EXPECT_EQ(flags.get_int("neg", 0), -5);
+  EXPECT_EQ(flags.get_int("z", 1), 0);
+  EXPECT_EQ(flags.get_int("big", 0), INT64_MAX);
+  // strtoll skips leading whitespace; full consumption still holds.
+  EXPECT_EQ(flags.get_int("ws", 0), 8);
+  EXPECT_EQ(flags.get_int("absent", -3), -3);
+}
+
+TEST(FlagsStrict, NegativeValueAfterSpaceIsConsumedAsValue) {
+  // "-5" does not start with "--", so it is the value of --min, not a
+  // positional argument.
+  const Flags flags = make_flags({"--min", "-5"});
+  EXPECT_EQ(flags.get_int("min", 0), -5);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(FlagsStrictDeathTest, AlphabeticIntegerExits) {
+  // The motivating bug: --pipeline=ten used to parse as depth 0 and then
+  // fail much later with a confusing "depth >= 1" engine error.
+  const Flags flags = make_flags({"--pipeline=ten"});
+  EXPECT_EXIT((void)flags.get_int("pipeline", 1),
+              ::testing::ExitedWithCode(2), "--pipeline.*integer.*ten");
+}
+
+TEST(FlagsStrictDeathTest, TrailingJunkIntegerExits) {
+  const Flags flags = make_flags({"--shards=4x"});
+  EXPECT_EXIT((void)flags.get_int("shards", 1), ::testing::ExitedWithCode(2),
+              "--shards.*integer.*4x");
+}
+
+TEST(FlagsStrictDeathTest, EmptyIntegerExits) {
+  const Flags flags = make_flags({"--shards="});
+  EXPECT_EXIT((void)flags.get_int("shards", 1), ::testing::ExitedWithCode(2),
+              "--shards.*integer");
+}
+
+TEST(FlagsStrictDeathTest, OutOfRangeIntegerExits) {
+  const Flags flags = make_flags({"--n=99999999999999999999999999"});
+  EXPECT_EXIT((void)flags.get_int("n", 1), ::testing::ExitedWithCode(2),
+              "--n.*integer");
+}
+
+TEST(FlagsStrict, WellFormedDoublesParse) {
+  const Flags flags = make_flags(
+      {"--a=1.5", "--b=-0.25", "--c=1e3", "--d", "2.5e-2", "--e=7"});
+  EXPECT_DOUBLE_EQ(flags.get_double("a", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(flags.get_double("b", 0.0), -0.25);
+  EXPECT_DOUBLE_EQ(flags.get_double("c", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(flags.get_double("d", 0.0), 0.025);
+  EXPECT_DOUBLE_EQ(flags.get_double("e", 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(flags.get_double("absent", 1.25), 1.25);
+}
+
+TEST(FlagsStrictDeathTest, AlphabeticDoubleExits) {
+  const Flags flags = make_flags({"--alpha=fast"});
+  EXPECT_EXIT((void)flags.get_double("alpha", 1.0),
+              ::testing::ExitedWithCode(2), "--alpha.*number.*fast");
+}
+
+TEST(FlagsStrictDeathTest, TrailingJunkDoubleExits) {
+  const Flags flags = make_flags({"--alpha=1.5z"});
+  EXPECT_EXIT((void)flags.get_double("alpha", 1.0),
+              ::testing::ExitedWithCode(2), "--alpha.*number.*1\\.5z");
+}
+
+TEST(FlagsStrict, BoolSpellings) {
+  const Flags flags = make_flags({"--a=true", "--b=1", "--c=yes", "--d=on",
+                                  "--e=false", "--f=0", "--g=no", "--h=off",
+                                  "--bare"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_TRUE(flags.get_bool("b", false));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_TRUE(flags.get_bool("d", false));
+  EXPECT_FALSE(flags.get_bool("e", true));
+  EXPECT_FALSE(flags.get_bool("f", true));
+  EXPECT_FALSE(flags.get_bool("g", true));
+  EXPECT_FALSE(flags.get_bool("h", true));
+  EXPECT_TRUE(flags.get_bool("bare", false));  // bare --flag means true
+  EXPECT_TRUE(flags.get_bool("absent", true));
+  EXPECT_FALSE(flags.get_bool("absent2", false));
+}
+
+TEST(FlagsStrictDeathTest, MisspelledBoolExits) {
+  // A silent `false` for --verify=ture would disable the very check the
+  // caller asked for.
+  const Flags flags = make_flags({"--verify=ture"});
+  EXPECT_EXIT((void)flags.get_bool("verify", false),
+              ::testing::ExitedWithCode(2), "--verify.*boolean.*ture");
+}
+
+TEST(FlagsStrict, EqualsAndSpaceSpellingsAreEquivalent) {
+  const Flags eq = make_flags({"--depth=4", "--mode=fast"});
+  const Flags sp = make_flags({"--depth", "4", "--mode", "fast"});
+  EXPECT_EQ(eq.get_int("depth", 0), sp.get_int("depth", 0));
+  EXPECT_EQ(eq.get("mode", ""), sp.get("mode", ""));
+}
+
+TEST(FlagsStrict, UnqueriedTracksOnlyUnreadFlags) {
+  const Flags flags = make_flags({"--read=1", "--typo=2", "--also-typo"});
+  EXPECT_EQ(flags.get_int("read", 0), 1);
+  EXPECT_EQ(flags.unqueried(),
+            (std::vector<std::string>{"also-typo", "typo"}));
+}
+
+TEST(FlagsStrict, RejectUnqueriedPassesWhenAllFlagsWereRead) {
+  const Flags flags = make_flags({"--read=1"});
+  EXPECT_EQ(flags.get_int("read", 0), 1);
+  flags.reject_unqueried("flags_test");  // must not exit
+}
+
+TEST(FlagsStrictDeathTest, RejectUnqueriedExitsNamingTheTypo) {
+  // The --shard=4 (for --shards=4) typo must not quietly run unsharded.
+  const Flags flags = make_flags({"--shard=4", "--smoke"});
+  EXPECT_TRUE(flags.get_bool("smoke", false));
+  EXPECT_EXIT(flags.reject_unqueried("fig5_runtime"),
+              ::testing::ExitedWithCode(2), "fig5_runtime.*--shard");
+}
+
+}  // namespace

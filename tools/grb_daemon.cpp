@@ -1,0 +1,93 @@
+// grb_daemon: the long-running query service. Generates the initial graph
+// for a scale factor (deterministic in --sf/--seed, so clients generating
+// the same dataset know exactly which change sets the daemon will see),
+// loads the pipelined Q1+Q2 engines, and serves the wire protocol of
+// src/daemon/protocol.hpp either on a Unix-domain socket (--socket=PATH,
+// one thread per connection) or on stdin/stdout (--stdio, single client —
+// what the protocol tests and quick manual pokes use).
+//
+//   grb_daemon --socket=/tmp/grb.sock --sf=2 --shards=4 --depth=4
+//   grb_daemon --stdio --sf=1 < requests.bin > responses.bin
+//
+// Exits 0 after an orderly kShutdown (every promised epoch published), 2 on
+// a bad command line, 1 when the transport cannot be set up.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "daemon/server.hpp"
+#include "datagen/generator.hpp"
+#include "grb/context.hpp"
+#include "support/flags.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: grb_daemon (--socket=PATH | --stdio) [--sf=N] [--seed=N]\n"
+      "                  [--shards=N] [--depth=N] [--retain=N]\n"
+      "                  [--query-wait-ms=N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Socket writes are SIGPIPE-safe via MSG_NOSIGNAL; this covers the
+  // --stdio transport, where a vanished peer must surface as EPIPE too.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  grbsm::support::Flags flags(argc, argv);
+  const auto sf = static_cast<unsigned>(flags.get_int("sf", 1));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const std::string socket_path = flags.get("socket", "");
+  const bool stdio = flags.get_bool("stdio", false);
+  grbd::ServerConfig cfg;
+  cfg.shards = static_cast<std::size_t>(flags.get_int("shards", 4));
+  cfg.depth = static_cast<std::size_t>(flags.get_int("depth", 4));
+  cfg.retain = static_cast<std::size_t>(flags.get_int("retain", 64));
+  cfg.query_wait =
+      std::chrono::milliseconds(flags.get_int("query-wait-ms", 5000));
+  flags.reject_unqueried("grb_daemon");
+
+  if (stdio == !socket_path.empty()) {
+    std::fprintf(stderr,
+                 "grb_daemon: exactly one of --socket / --stdio required\n");
+    usage();
+    return 2;
+  }
+  if (cfg.shards < 1 || cfg.depth < 1 || cfg.retain < 1) {
+    std::fprintf(stderr,
+                 "grb_daemon: --shards, --depth, --retain must be >= 1\n");
+    return 2;
+  }
+
+  // One OpenMP thread per kernel call: the daemon's parallelism is the
+  // pipeline's shard workers plus reader concurrency, matching the
+  // grb-pipelined-* tool configuration the answers are verified against.
+  grb::set_threads(1);
+
+  grbd::Server server(cfg);
+  {
+    const datagen::Dataset ds =
+        datagen::generate(datagen::params_for_scale(sf, seed));
+    server.load(ds.initial);
+  }
+  std::fprintf(stderr,
+               "grb_daemon: ready (sf=%u seed=%llu shards=%zu depth=%zu "
+               "retain=%zu)\n",
+               sf, static_cast<unsigned long long>(seed), cfg.shards,
+               cfg.depth, cfg.retain);
+
+  if (stdio) {
+    server.serve_connection(0, 1);
+    server.request_shutdown();
+    server.drain();
+    return 0;
+  }
+  if (server.serve_unix(socket_path) != 0) {
+    std::perror("grb_daemon: serve_unix");
+    return 1;
+  }
+  return 0;
+}

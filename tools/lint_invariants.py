@@ -23,11 +23,15 @@ on — the ones clang-tidy cannot know about:
                         the seeded support/rng.hpp engines so every run is
                         reproducible from its --seed.
   raw-thread            std::thread / std::jthread / std::condition_variable
-                        are banned outside src/grb/detail/: thread lifetime
-                        and hand-off edges live behind the EpochPipeline and
-                        parallel.hpp abstractions, where the TSan story
-                        (native mutex/cv edges vs re-annotated libgomp
-                        barriers) is established once. std::thread::id and
+                        are banned outside src/grb/detail/ and src/daemon/:
+                        thread lifetime and hand-off edges live behind the
+                        EpochPipeline and parallel.hpp abstractions, where
+                        the TSan story (native mutex/cv edges vs
+                        re-annotated libgomp barriers) is established once.
+                        The daemon layer is the second sanctioned owner — it
+                        is a network service (connection threads, one writer
+                        thread) and is all-native mutex/cv, covered by the
+                        TSan lane's Daemon suites. std::thread::id and
                         this_thread remain fine — only ownership primitives
                         are confined.
 
@@ -119,12 +123,12 @@ RULES = [
         # is confined to the detail layer.
         "raw-thread",
         r"\bstd::(?:jthread\b|condition_variable|thread\b(?!::))",
-        "raw thread/cv ownership outside src/grb/detail/ — hand epochs to "
-        "workers through grb::detail::EpochPipeline (grb/detail/"
-        "pipeline.hpp) or use the parallel.hpp primitives",
+        "raw thread/cv ownership outside src/grb/detail/ and src/daemon/ — "
+        "hand epochs to workers through grb::detail::EpochPipeline "
+        "(grb/detail/pipeline.hpp) or use the parallel.hpp primitives",
         ("src", "bench", "examples"),
         set(),
-        ("src/grb/detail/",),
+        ("src/grb/detail/", "src/daemon/"),
     ),
 ]
 
@@ -213,6 +217,13 @@ def self_test():
         "src/grb/detail/pipeline2.hpp": (
             "#include <thread>\n"
             "std::vector<std::thread> threads_;\n",
+            set(),
+        ),
+        # ... as may the daemon layer (connection threads + writer thread),
+        "src/daemon/server2.cpp": (
+            "#include <thread>\n"
+            "std::thread writer_;\n"
+            "std::condition_variable ingest_cv_;\n",
             set(),
         ),
         # ... and non-owning thread identity is legal anywhere.

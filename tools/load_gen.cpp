@@ -1,0 +1,389 @@
+// load_gen: concurrent-load client for grb_daemon, and the CI smoke gate.
+// Generates the same deterministic dataset as the daemon (same --sf/--seed),
+// then drives it over one Unix-domain socket per worker:
+//
+//   * 1 writer connection streams every change set of the dataset as kApply
+//     frames and times the stream end-to-end (change sets / second);
+//   * N reader connections issue kQuery requests concurrently — a Zipf-
+//     distributed mix of "latest" reads and epoch-pinned reads trailing the
+//     newest epoch each reader has observed, with a configurable Q1/Q2 mix —
+//     and record per-request round-trip latencies (p50/p99).
+//
+// With --verify, every kAnswer (readers' and the final pinned read of the
+// last epoch) is compared byte-for-byte against the serial oracle
+// (grb-incremental run locally on the same dataset); any mismatch fails the
+// run. --gate-p99-ms / --gate-min-cs-per-s turn measurements into exit
+// status, which is what the daemon-smoke CI lane gates on.
+//
+//   load_gen --socket=/tmp/grb.sock --sf=2 --readers=4 --reads=150 \
+//            --verify --shutdown --gate-p99-ms=500 --gate-min-cs-per-s=1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+#include "datagen/generator.hpp"
+#include "harness/runner.hpp"
+#include "support/flags.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using grbd::Frame;
+using grbd::MsgType;
+using grbd::PayloadReader;
+using grbd::PayloadWriter;
+using grbsm::support::Timer;
+using grbsm::support::Xoshiro256;
+using grbsm::support::ZipfSampler;
+
+/// Connects to the daemon's socket, retrying until `timeout` passes (the
+/// daemon may still be loading when CI launches us).
+int connect_unix(const std::string& path, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      errno = ENAMETOOLONG;
+      return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+/// One request/response exchange on a connection.
+Frame call(int fd, MsgType type, const std::vector<std::uint8_t>& payload) {
+  if (!grbd::write_frame(fd, type, payload)) {
+    throw grbd::ProtocolError("daemon closed the connection");
+  }
+  std::optional<Frame> f = grbd::read_frame(fd);
+  if (!f) throw grbd::ProtocolError("EOF while awaiting a response");
+  return *f;
+}
+
+/// The serial reference: oracle[k] is the byte-exact answer at epoch k
+/// (0 = initial evaluation).
+struct Oracle {
+  std::vector<std::string> q1;
+  std::vector<std::string> q2;
+};
+
+Oracle compute_oracle(const datagen::Dataset& ds) {
+  Oracle o;
+  for (const harness::Query q : {harness::Query::kQ1, harness::Query::kQ2}) {
+    const harness::RunResult r = harness::run_once(
+        harness::find_tool("grb-incremental"), q, ds.initial, ds.changes);
+    std::vector<std::string>& out =
+        q == harness::Query::kQ1 ? o.q1 : o.q2;
+    out.push_back(r.initial_answer);
+    out.insert(out.end(), r.update_answers.begin(), r.update_answers.end());
+  }
+  return o;
+}
+
+struct ReaderStats {
+  std::vector<std::int64_t> latencies_ns;
+  std::uint64_t reads = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t not_ready = 0;
+  std::uint64_t mismatches = 0;
+  std::string first_mismatch;
+};
+
+struct ReaderParams {
+  std::string socket;
+  std::uint64_t seed = 0;
+  std::size_t reads = 0;
+  double q1_frac = 0.5;
+  double pinned_frac = 0.5;
+  double zipf_alpha = 0.9;
+  const Oracle* oracle = nullptr;  // nullptr = no verification
+};
+
+void reader_main(const ReaderParams& p, ReaderStats& out) {
+  const int fd = connect_unix(p.socket, std::chrono::seconds(10));
+  if (fd < 0) {
+    out.mismatches = 1;
+    out.first_mismatch = "reader could not connect";
+    return;
+  }
+  Xoshiro256 rng(p.seed);
+  // Pinned reads trail the newest epoch this reader has observed by a
+  // Zipf-distributed offset — mostly recent history, occasionally deep.
+  const ZipfSampler offset(16, p.zipf_alpha);
+  std::uint64_t seen_max = 0;
+  try {
+    const Frame hello = call(fd, MsgType::kHello, {});
+    if (hello.type == MsgType::kHelloOk) {
+      PayloadReader in(hello.payload);
+      seen_max = in.u64();
+    }
+    for (std::size_t i = 0; i < p.reads; ++i) {
+      const std::uint8_t which =
+          rng.chance(p.q1_frac) ? grbd::kQueryQ1 : grbd::kQueryQ2;
+      std::uint64_t pin = grbd::kLatestEpoch;
+      if (rng.chance(p.pinned_frac)) {
+        const auto back = static_cast<std::uint64_t>(offset.sample(rng)) - 1;
+        pin = seen_max > back ? seen_max - back : 0;
+      }
+      PayloadWriter req;
+      req.u8(which);
+      req.u64(pin);
+      const Timer t;
+      const Frame resp = call(fd, MsgType::kQuery, req.data());
+      out.latencies_ns.push_back(t.elapsed_ns());
+      out.reads++;
+      if (resp.type == MsgType::kError) {
+        PayloadReader in(resp.payload);
+        const auto code = static_cast<grbd::ErrorCode>(in.u32());
+        if (code == grbd::ErrorCode::kEvicted) {
+          out.evicted++;
+        } else {
+          out.not_ready++;
+        }
+        continue;
+      }
+      PayloadReader in(resp.payload);
+      const std::uint64_t epoch = in.u64();
+      const std::string answer = in.rest();
+      if (epoch > seen_max) seen_max = epoch;
+      if (p.oracle != nullptr) {
+        const std::vector<std::string>& ref =
+            which == grbd::kQueryQ1 ? p.oracle->q1 : p.oracle->q2;
+        if (epoch >= ref.size() || answer != ref[epoch]) {
+          out.mismatches++;
+          if (out.first_mismatch.empty()) {
+            out.first_mismatch = "epoch " + std::to_string(epoch) + " " +
+                                 (which == grbd::kQueryQ1 ? "Q1" : "Q2") +
+                                 ": served answer differs from the oracle";
+          }
+        }
+      }
+    }
+  } catch (const grbd::ProtocolError& e) {
+    out.mismatches++;
+    if (out.first_mismatch.empty()) out.first_mismatch = e.what();
+  }
+  ::close(fd);
+}
+
+double percentile_ms(std::vector<std::int64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ns.size() - 1) + 0.5);
+  return static_cast<double>(sorted_ns[idx]) * 1e-6;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: load_gen --socket=PATH [--sf=N] [--seed=N] [--readers=N]\n"
+      "                [--reads=N] [--q1-frac=F] [--pinned-frac=F]\n"
+      "                [--zipf=ALPHA] [--verify] [--shutdown] [--json]\n"
+      "                [--gate-p99-ms=F] [--gate-min-cs-per-s=F]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+
+  grbsm::support::Flags flags(argc, argv);
+  const std::string socket_path = flags.get("socket", "");
+  const auto sf = static_cast<unsigned>(flags.get_int("sf", 1));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto readers = static_cast<std::size_t>(flags.get_int("readers", 4));
+  const auto reads = static_cast<std::size_t>(flags.get_int("reads", 200));
+  const double q1_frac = flags.get_double("q1-frac", 0.5);
+  const double pinned_frac = flags.get_double("pinned-frac", 0.5);
+  const double zipf_alpha = flags.get_double("zipf", 0.9);
+  const bool verify = flags.get_bool("verify", false);
+  const bool shutdown = flags.get_bool("shutdown", false);
+  const bool json = flags.get_bool("json", false);
+  const double gate_p99_ms = flags.get_double("gate-p99-ms", 0.0);
+  const double gate_cs_per_s = flags.get_double("gate-min-cs-per-s", 0.0);
+  flags.reject_unqueried("load_gen");
+  if (socket_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  const datagen::Dataset ds =
+      datagen::generate(datagen::params_for_scale(sf, seed));
+  Oracle oracle;
+  if (verify) {
+    std::fprintf(stderr, "load_gen: computing the serial oracle...\n");
+    oracle = compute_oracle(ds);
+  }
+
+  // Readers run for the whole write stream (and beyond).
+  std::vector<ReaderStats> stats(readers);
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers);
+  ReaderParams base;
+  base.socket = socket_path;
+  base.reads = reads;
+  base.q1_frac = q1_frac;
+  base.pinned_frac = pinned_frac;
+  base.zipf_alpha = zipf_alpha;
+  base.oracle = verify ? &oracle : nullptr;
+  for (std::size_t r = 0; r < readers; ++r) {
+    ReaderParams p = base;
+    p.seed = seed ^ (0x9e3779b97f4a7c15ULL * (r + 1));
+    reader_threads.emplace_back(
+        [p, &out = stats[r]] { reader_main(p, out); });
+  }
+
+  // The writer: stream every change set, timed end-to-end.
+  const int wfd = connect_unix(socket_path, std::chrono::seconds(10));
+  if (wfd < 0) {
+    std::fprintf(stderr, "load_gen: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    for (std::thread& t : reader_threads) t.join();
+    return 1;
+  }
+  std::uint64_t last_epoch = 0;
+  bool write_failed = false;
+  const Timer write_timer;
+  try {
+    for (const sm::ChangeSet& cs : ds.changes) {
+      const Frame resp =
+          call(wfd, MsgType::kApply, grbd::encode_change_set(cs));
+      if (resp.type != MsgType::kApplied) {
+        throw grbd::ProtocolError("kApply was refused");
+      }
+      PayloadReader in(resp.payload);
+      last_epoch = in.u64();
+    }
+  } catch (const grbd::ProtocolError& e) {
+    std::fprintf(stderr, "load_gen: write stream failed: %s\n", e.what());
+    write_failed = true;
+  }
+  const double write_s = write_timer.elapsed_s();
+
+  // Final pinned read: the last written epoch must publish and must match
+  // the oracle exactly (the daemon waits for it server-side).
+  std::uint64_t final_mismatches = 0;
+  if (!write_failed && last_epoch > 0) {
+    for (const std::uint8_t which : {grbd::kQueryQ1, grbd::kQueryQ2}) {
+      PayloadWriter req;
+      req.u8(which);
+      req.u64(last_epoch);
+      try {
+        const Frame resp = call(wfd, MsgType::kQuery, req.data());
+        if (resp.type != MsgType::kAnswer) {
+          final_mismatches++;
+          continue;
+        }
+        PayloadReader in(resp.payload);
+        const std::uint64_t epoch = in.u64();
+        const std::string answer = in.rest();
+        if (verify) {
+          const std::vector<std::string>& ref =
+              which == grbd::kQueryQ1 ? oracle.q1 : oracle.q2;
+          if (epoch >= ref.size() || answer != ref[epoch]) final_mismatches++;
+        }
+      } catch (const grbd::ProtocolError&) {
+        final_mismatches++;
+      }
+    }
+  }
+
+  for (std::thread& t : reader_threads) t.join();
+
+  if (shutdown) {
+    try {
+      (void)call(wfd, MsgType::kShutdown, {});
+    } catch (const grbd::ProtocolError&) {
+      // The daemon may close the connection right after the kOk.
+    }
+  }
+  ::close(wfd);
+
+  // Aggregate.
+  std::vector<std::int64_t> lat;
+  std::uint64_t total_reads = 0, evicted = 0, not_ready = 0, mismatches = 0;
+  for (const ReaderStats& s : stats) {
+    lat.insert(lat.end(), s.latencies_ns.begin(), s.latencies_ns.end());
+    total_reads += s.reads;
+    evicted += s.evicted;
+    not_ready += s.not_ready;
+    mismatches += s.mismatches;
+    if (s.mismatches != 0 && !s.first_mismatch.empty()) {
+      std::fprintf(stderr, "load_gen: mismatch: %s\n",
+                   s.first_mismatch.c_str());
+    }
+  }
+  mismatches += final_mismatches;
+  std::sort(lat.begin(), lat.end());
+  const double p50 = percentile_ms(lat, 0.50);
+  const double p99 = percentile_ms(lat, 0.99);
+  const double cs_per_s =
+      write_s > 0.0 ? static_cast<double>(ds.changes.size()) / write_s : 0.0;
+
+  std::fprintf(stderr,
+               "load_gen: wrote %zu change sets in %.3f s (%.1f cs/s), "
+               "last epoch %llu\n",
+               ds.changes.size(), write_s, cs_per_s,
+               static_cast<unsigned long long>(last_epoch));
+  std::fprintf(stderr,
+               "load_gen: %llu reads across %zu readers: p50=%.3f ms "
+               "p99=%.3f ms, %llu evicted, %llu not-ready\n",
+               static_cast<unsigned long long>(total_reads), readers, p50,
+               p99, static_cast<unsigned long long>(evicted),
+               static_cast<unsigned long long>(not_ready));
+  if (verify) {
+    std::fprintf(stderr, "load_gen: %llu answer mismatches vs the oracle\n",
+                 static_cast<unsigned long long>(mismatches));
+  }
+  if (json) {
+    std::printf(
+        "{\"sf\": %u, \"change_sets\": %zu, \"cs_per_s\": %.3f, "
+        "\"reads\": %llu, \"readers\": %zu, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"evicted\": %llu, \"not_ready\": %llu, "
+        "\"verified\": %s, \"mismatches\": %llu}\n",
+        sf, ds.changes.size(), cs_per_s,
+        static_cast<unsigned long long>(total_reads), readers, p50, p99,
+        static_cast<unsigned long long>(evicted),
+        static_cast<unsigned long long>(not_ready),
+        verify ? "true" : "false",
+        static_cast<unsigned long long>(mismatches));
+  }
+
+  bool ok = !write_failed && mismatches == 0;
+  if (gate_p99_ms > 0.0 && p99 > gate_p99_ms) {
+    std::fprintf(stderr, "load_gen: GATE FAIL p99 %.3f ms > %.3f ms\n", p99,
+                 gate_p99_ms);
+    ok = false;
+  }
+  if (gate_cs_per_s > 0.0 && cs_per_s < gate_cs_per_s) {
+    std::fprintf(stderr, "load_gen: GATE FAIL %.1f cs/s < %.1f cs/s\n",
+                 cs_per_s, gate_cs_per_s);
+    ok = false;
+  }
+  std::fprintf(stderr, "load_gen: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
