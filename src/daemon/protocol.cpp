@@ -134,6 +134,16 @@ std::vector<std::uint8_t> encode_change_set(const sm::ChangeSet& cs) {
 
 sm::ChangeSet decode_change_set(PayloadReader& in) {
   const std::uint32_t count = in.u32();
+  // The smallest op on the wire is 9 bytes (tag + one u64). A declared
+  // count the payload cannot possibly hold is refused here, *before* the
+  // reserve below — a hostile count=0xFFFFFFFF in a 9-byte frame must not
+  // become a multi-GB allocation attempt.
+  constexpr std::size_t kMinOpBytes = 9;
+  if (count > in.remaining() / kMinOpBytes) {
+    throw ProtocolError("change-set op count " + std::to_string(count) +
+                        " exceeds what the " + std::to_string(in.remaining()) +
+                        " payload bytes can hold");
+  }
   sm::ChangeSet cs;
   cs.ops.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

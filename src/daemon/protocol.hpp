@@ -75,6 +75,7 @@ enum class ErrorCode : std::uint32_t {
   kEvicted = 2,     ///< pinned epoch left the retention window
   kNotReady = 3,    ///< pinned epoch not published within the wait budget
   kShuttingDown = 4,
+  kInternal = 5,  ///< unexpected server-side failure; connection is dropped
 };
 
 /// Query selector inside kQuery payloads.

@@ -30,12 +30,36 @@ Server::Server(ServerConfig cfg)
 Server::~Server() {
   request_shutdown();
   if (writer_.joinable()) writer_.join();
+  join_all_connections();
+}
+
+void Server::join_all_connections() {
   std::vector<std::thread> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conns.swap(conn_threads_);
+    conns.reserve(conn_threads_.size());
+    for (auto& [id, t] : conn_threads_) conns.push_back(std::move(t));
+    conn_threads_.clear();
+    finished_conn_ids_.clear();
   }
   for (std::thread& t : conns) t.join();
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::uint64_t id : finished_conn_ids_) {
+      const auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;  // already joined in bulk
+      done.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+    finished_conn_ids_.clear();
+  }
+  // Join outside the lock: a finishing thread may still be between its
+  // finished_conn_ids_ push and its last instruction.
+  for (std::thread& t : done) t.join();
 }
 
 void Server::load(const sm::SocialGraph& g) {
@@ -71,6 +95,7 @@ void Server::writer_loop() {
     // the pipeline) must not std::terminate the daemon; stop ingesting and
     // let pinned readers drain what was published.
     std::fprintf(stderr, "grb_daemon: writer failed: %s\n", e.what());
+    writer_failed_.store(true, std::memory_order_release);
     request_shutdown();
   }
 }
@@ -128,15 +153,26 @@ void Server::drain() {
     std::uint64_t latest = 0;
     (void)store_.latest_epoch(latest);
     if (latest >= target) break;
+    // A crashed writer publishes nothing more: epochs it assigned but never
+    // merged will neither publish nor evict, so waiting on them would spin
+    // forever. (Checked after the wait so a writer that failed *after*
+    // publishing `target` still exits through the success path.)
+    if (writer_failed_.load(std::memory_order_acquire)) break;
   }
 }
 
-void Server::request_shutdown() {
+void Server::stop_writes() {
   {
     std::lock_guard<std::mutex> lock(ingest_mu_);
-    if (stop_.exchange(true, std::memory_order_relaxed)) return;
+    stop_.store(true, std::memory_order_relaxed);
   }
   ingest_cv_.notify_all();
+}
+
+void Server::request_shutdown() {
+  stop_writes();
+  // Idempotent without an early-out: listen_fd_ goes -1 after the close,
+  // and a second SHUT_RDWR on a live fd is harmless.
   std::lock_guard<std::mutex> lock(conns_mu_);
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
@@ -193,7 +229,8 @@ bool Server::handle_frame(const Frame& f, int out_fd) {
         throw ProtocolError("unknown query selector " +
                             std::to_string(which));
       }
-      SnapshotPtr snap;  // the pin: one atomic load, never blocks the writer
+      SnapshotPtr snap;  // the pin: one atomic<shared_ptr> load (lock-light,
+                         // see epoch_store.hpp); never waits out a merge
       if (pin == kLatestEpoch) {
         snap = store_.latest();
       } else {
@@ -226,6 +263,11 @@ bool Server::handle_frame(const Frame& f, int out_fd) {
       return write_frame(out_fd, MsgType::kStatsOk, out.data());
     }
     case MsgType::kShutdown: {
+      // Refuse new writes *before* acking: a client that received kOk must
+      // never see a later enqueue succeed. The fd teardown stays after the
+      // ack — request_shutdown() SHUT_RDWRs this very connection, so kOk
+      // could not be delivered the other way around.
+      stop_writes();
       (void)write_frame(out_fd, MsgType::kOk);
       request_shutdown();
       return false;
@@ -254,6 +296,12 @@ void Server::serve_connection(int in_fd, int out_fd) {
     } catch (const ProtocolError& e) {
       // Bad payload inside an intact frame: recoverable, keep serving.
       if (!write_error(out_fd, ErrorCode::kBadRequest, e.what())) return;
+    } catch (const std::exception& e) {
+      // Last resort: no single request may take the daemon down
+      // (an escaping exception here would std::terminate the process).
+      // Report, then drop this connection only.
+      (void)write_error(out_fd, ErrorCode::kInternal, e.what());
+      return;
     }
   }
 }
@@ -291,25 +339,23 @@ int Server::serve_unix(const std::string& path) {
       if (errno == EINTR) continue;
       break;  // listen fd was shut down — time to leave
     }
+    reap_finished_connections();
     std::lock_guard<std::mutex> lock(conns_mu_);
     live_fds_.push_back(conn);
-    conn_threads_.emplace_back([this, conn] {
+    const std::uint64_t id = next_conn_id_++;
+    conn_threads_.emplace(id, std::thread([this, conn, id] {
       serve_connection(conn, conn);
       {
         // De-list before close so request_shutdown never touches a
         // recycled descriptor number.
         std::lock_guard<std::mutex> inner(conns_mu_);
         live_fds_.erase(std::find(live_fds_.begin(), live_fds_.end(), conn));
+        finished_conn_ids_.push_back(id);
       }
       ::close(conn);
-    });
+    }));
   }
-  std::vector<std::thread> conns;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns.swap(conn_threads_);
-  }
-  for (std::thread& t : conns) t.join();
+  join_all_connections();
   // Publish every epoch clients were promised before the process exits.
   drain();
   return 0;

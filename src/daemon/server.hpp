@@ -6,9 +6,10 @@
 //
 //   * Connection threads never touch the engines. A kApply enqueues the
 //     decoded change set (mutex+cv queue) and immediately learns its epoch
-//     number; a kQuery pins a snapshot in the EpochStore with one atomic
-//     load and serves from it. Readers therefore never block the apply
-//     path, and the apply path never blocks readers.
+//     number; a kQuery pins a snapshot in the EpochStore with a single
+//     atomic<shared_ptr> load (lock-light — see epoch_store.hpp) and
+//     serves from it. Readers therefore never wait on the apply path, and
+//     the apply path never waits on readers.
 //   * The single writer thread drains the queue into the engines'
 //     streaming API with a window-filling policy: while the ingest queue
 //     has work and the pipeline window is open, submit() — keeping up to
@@ -33,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "daemon/epoch_store.hpp"
@@ -85,6 +87,11 @@ class Server {
   /// to drain the queue and exit. Thread-safe, idempotent.
   void request_shutdown();
 
+  /// The write-refusal half of request_shutdown() alone: enqueue() returns
+  /// 0 from here on and the writer drains + exits, but live connections
+  /// keep their sockets (kShutdown acks through its own fd after this).
+  void stop_writes();
+
   /// Blocks until everything enqueued so far has been published (tests and
   /// orderly shutdown use this).
   void drain();
@@ -109,6 +116,12 @@ class Server {
   bool handle_frame(const Frame& f, int out_fd);
   /// Last epoch handed out by enqueue (0 before the first write).
   [[nodiscard]] std::uint64_t last_assigned() const;
+  /// Joins connection threads that have signalled completion — accept-loop
+  /// housekeeping, so a long-lived daemon does not accumulate one dead
+  /// std::thread per connection ever served.
+  void reap_finished_connections();
+  /// Joins every remaining connection thread (shutdown paths only).
+  void join_all_connections();
 
   ServerConfig cfg_;
   std::unique_ptr<shard::GrbPipelinedEngine> q1_;
@@ -126,10 +139,19 @@ class Server {
 
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> applied_{0};
+  /// Set (before request_shutdown) when the writer thread died in its catch
+  /// block; drain() polls it so it cannot wait forever on epochs the dead
+  /// writer will never publish.
+  std::atomic<bool> writer_failed_{false};
 
-  // Unix-socket transport bookkeeping.
+  // Unix-socket transport bookkeeping. Connection threads are keyed by a
+  // monotonic id; a thread pushes its id to finished_conn_ids_ on exit and
+  // the accept loop joins + erases it, so the map tracks live connections
+  // rather than growing for the life of the daemon.
   std::mutex conns_mu_;
-  std::vector<std::thread> conn_threads_;
+  std::unordered_map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::uint64_t> finished_conn_ids_;
+  std::uint64_t next_conn_id_ = 0;
   std::vector<int> live_fds_;
   int listen_fd_ = -1;
 

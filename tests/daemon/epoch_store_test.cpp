@@ -1,5 +1,5 @@
 // EpochStore semantics: retention window, pinning, eviction, the
-// wait_published hand-off, and hammering the lock-free read path while the
+// wait_published hand-off, and hammering the lock-light read path while the
 // writer publishes (the TSan lane runs this suite).
 #include "daemon/epoch_store.hpp"
 

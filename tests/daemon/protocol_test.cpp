@@ -178,6 +178,28 @@ TEST(DaemonProtocol, EmptyChangeSetRoundTrips) {
   in.expect_done();
 }
 
+TEST(DaemonProtocol, HostileOpCountRefusedBeforeAllocation) {
+  // count=0xFFFFFFFF over a near-empty payload must be a ProtocolError
+  // thrown before ops.reserve() — not a ~200 GB allocation attempt whose
+  // bad_alloc would escape the protocol-error handling.
+  PayloadWriter out;
+  out.u32(0xFFFFFFFFu);
+  out.u8(1);  // one stray byte; far too few for even a single op
+  PayloadReader in(out.data());
+  EXPECT_THROW((void)decode_change_set(in), ProtocolError);
+}
+
+TEST(DaemonProtocol, OpCountJustAbovePayloadCapacityRefused) {
+  // Two minimal 9-byte ops on the wire, but a declared count of three.
+  sm::ChangeSet cs;
+  cs.ops.push_back(sm::AddUser{1});
+  cs.ops.push_back(sm::AddUser{2});
+  auto encoded = encode_change_set(cs);
+  encoded[0] = 3;  // count lives in the little-endian first 4 bytes
+  PayloadReader in(encoded);
+  EXPECT_THROW((void)decode_change_set(in), ProtocolError);
+}
+
 TEST(DaemonProtocol, UnknownChangeOpTagThrows) {
   PayloadWriter out;
   out.u32(1);

@@ -252,6 +252,14 @@ TEST(DaemonServer, MalformedRequestsKeepTheConnectionServing) {
   // Garbage kApply payload (bad op tag).
   f = conn.call(MsgType::kApply, {1, 0, 0, 0, 99});
   ASSERT_EQ(f.type, MsgType::kError);
+  // Hostile kApply op count (0xFFFFFFFF ops declared, zero payload bytes):
+  // must come back kBadRequest, not OOM-kill or std::terminate the daemon.
+  f = conn.call(MsgType::kApply, {0xff, 0xff, 0xff, 0xff});
+  ASSERT_EQ(f.type, MsgType::kError);
+  {
+    PayloadReader in(f.payload);
+    EXPECT_EQ(in.u32(), static_cast<std::uint32_t>(ErrorCode::kBadRequest));
+  }
   // Bad query selector.
   {
     PayloadWriter req;
@@ -312,6 +320,25 @@ TEST(DaemonServer, MidRequestDisconnectLeavesTheServerServing) {
   // The next connection is served normally.
   Conn conn(server);
   EXPECT_EQ(answer_of(conn.query(kQueryQ2, 0)), paper_example::kQ2Initial);
+}
+
+TEST(DaemonServer, DrainReturnsAfterWriterFailure) {
+  Server server(small_config());
+  server.load(paper_example::initial_graph());
+  // A semantically invalid change set: likes on a comment that does not
+  // exist. The writer thread throws routing it and dies through its catch
+  // block, so epoch 1 was assigned but will never publish.
+  sm::ChangeSet poison;
+  poison.ops.push_back(sm::AddLikes{paper_example::kU1, 999999});
+  EXPECT_EQ(server.enqueue(poison), 1u);
+  // Regression: drain() used to spin forever here, waiting for a publish
+  // that can no longer happen. It must return once the writer is dead.
+  server.drain();
+  std::uint64_t latest = 0;
+  ASSERT_TRUE(server.store().latest_epoch(latest));
+  EXPECT_EQ(latest, 0u);  // only the initial evaluation ever published
+  // The failure also shut ingestion down.
+  EXPECT_EQ(server.enqueue(idempotent_change_set()), 0u);
 }
 
 TEST(DaemonServer, ShutdownDrainsPromisedEpochs) {

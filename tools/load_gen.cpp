@@ -15,7 +15,7 @@
 // run. --gate-p99-ms / --gate-min-cs-per-s turn measurements into exit
 // status, which is what the daemon-smoke CI lane gates on.
 //
-//   load_gen --socket=/tmp/grb.sock --sf=2 --readers=4 --reads=150 \
+//   load_gen --socket=/tmp/grb.sock --sf=2 --readers=4 --reads=150
 //            --verify --shutdown --gate-p99-ms=500 --gate-min-cs-per-s=1
 #include <sys/socket.h>
 #include <sys/un.h>
