@@ -60,6 +60,7 @@
 #include "grb/context.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
+#include "queries/top_k.hpp"
 #include "support/flags.hpp"
 
 namespace {
@@ -89,12 +90,20 @@ struct SmokeResult {
   bool pipeline_answers_ok = false;
   bool pipeline_throughput_ok = false;
   int pipeline_depth = 0;
+  // --- top-k pruning gates (removal-heavy stream) ---------------------------
+  bool prune_ran = false;
+  bool prune_answers_ok = false;   ///< pruned engines == unpruned batch oracle
+  bool prune_counters_ok = false;  ///< scanned + skipped == total, pool hits
+  bool prune_skip_ok = false;      ///< skip fraction above the floor
+  queries::PruneStats prune;       ///< counters over the removal stream
 
   [[nodiscard]] bool ok() const {
     return trend_ok && arena_ok &&
            (!sharded_ran || (sharded_answers_ok && sharded_arena_ok)) &&
            (!pipeline_ran ||
-            (pipeline_answers_ok && pipeline_throughput_ok));
+            (pipeline_answers_ok && pipeline_throughput_ok)) &&
+           (!prune_ran ||
+            (prune_answers_ok && prune_counters_ok && prune_skip_ok));
   }
 };
 
@@ -225,6 +234,24 @@ void write_json(
                    smoke.pipeline_depth,
                    smoke.pipeline_answers_ok ? "true" : "false",
                    smoke.pipeline_throughput_ok ? "true" : "false");
+    }
+    if (smoke.prune_ran) {
+      std::fprintf(
+          f,
+          ",\n    \"prune\": {\"answers_match\": %s, \"counters_ok\": %s, "
+          "\"skip_ok\": %s,\n      \"blocks_total\": %llu, "
+          "\"blocks_scanned\": %llu, \"blocks_skipped\": %llu,\n      "
+          "\"pool_hits\": %llu, \"pool_rebuilds\": %llu, "
+          "\"bound_rebuilds\": %llu}",
+          smoke.prune_answers_ok ? "true" : "false",
+          smoke.prune_counters_ok ? "true" : "false",
+          smoke.prune_skip_ok ? "true" : "false",
+          static_cast<unsigned long long>(smoke.prune.blocks_total),
+          static_cast<unsigned long long>(smoke.prune.blocks_scanned),
+          static_cast<unsigned long long>(smoke.prune.blocks_skipped),
+          static_cast<unsigned long long>(smoke.prune.pool_hits),
+          static_cast<unsigned long long>(smoke.prune.pool_rebuilds),
+          static_cast<unsigned long long>(smoke.prune.bound_rebuilds));
     }
     std::fprintf(f, "\n  }");
   }
@@ -642,6 +669,79 @@ int main(int argc, char** argv) {
           "cs/s (floor 0.5x)\n",
           sr.pipeline_throughput_ok ? "PASS" : "FAIL", best_cs,
           tr.serial.cs_per_s);
+    }
+
+    // --- top-k pruning gates -------------------------------------------------
+    // A removal-heavy stream forces the re-rank path on every removal
+    // epoch; the pruned extraction must (1) stay byte-identical to the
+    // unpruned batch oracle (and the sharded/pipelined engines, when
+    // enabled), (2) keep the counters consistent — every considered block
+    // either scanned or skipped, so a code path that forgets to count
+    // breaks the equation instead of silently rotting — and (3) actually
+    // prune: skip a minimum fraction of the considered blocks. The floor
+    // is deliberately low (10%); differential suites own correctness,
+    // this gate owns "the pruning is alive".
+    {
+      sr.prune_ran = true;
+      auto rp = datagen::params_for_scale(top, seed);
+      rp.change_sets = 30;
+      rp.insert_elements = 300 * top;
+      rp.frac_removals = 0.25;
+      const datagen::Dataset rds = datagen::generate(rp);
+      std::vector<harness::ToolSpec> prune_tools = {
+          harness::find_tool("grb-batch"), inc_tool};
+      if (shards > 0) {
+        for (const auto& t : harness::sharded_tools(shards)) {
+          if (t.key == "grb-sharded-incremental") prune_tools.push_back(t);
+        }
+      }
+      if (pipeline > 0) {
+        for (const auto& t : harness::pipelined_tools(pshards, pipeline)) {
+          if (t.key == "grb-pipelined-incremental") prune_tools.push_back(t);
+        }
+      }
+      queries::reset_prune_counters();
+      try {
+        harness::verify_tools(prune_tools, harness::Query::kQ2, rds.initial,
+                              rds.changes);
+        harness::verify_tools(prune_tools, harness::Query::kQ1, rds.initial,
+                              rds.changes);
+        sr.prune_answers_ok = true;
+      } catch (const std::exception& e) {
+        std::cerr << "pruned answer mismatch: " << e.what() << "\n";
+      }
+      sr.prune = queries::prune_counters();
+      sr.prune_counters_ok =
+          sr.prune.blocks_scanned + sr.prune.blocks_skipped ==
+              sr.prune.blocks_total &&
+          sr.prune.blocks_total > 0 && sr.prune.pool_hits > 0;
+      sr.prune_skip_ok =
+          static_cast<double>(sr.prune.blocks_skipped) >=
+          0.10 * static_cast<double>(sr.prune.blocks_total);
+      std::printf(
+          "[%s] smoke pruning: removal-heavy answers %s the unpruned "
+          "oracle\n",
+          sr.prune_answers_ok ? "PASS" : "FAIL",
+          sr.prune_answers_ok ? "match" : "DIVERGE from");
+      std::printf(
+          "[%s] smoke pruning counters: %llu scanned + %llu skipped == %llu "
+          "considered, %llu pool hits, %llu pool rebuilds, %llu bound "
+          "rebuilds\n",
+          sr.prune_counters_ok ? "PASS" : "FAIL",
+          static_cast<unsigned long long>(sr.prune.blocks_scanned),
+          static_cast<unsigned long long>(sr.prune.blocks_skipped),
+          static_cast<unsigned long long>(sr.prune.blocks_total),
+          static_cast<unsigned long long>(sr.prune.pool_hits),
+          static_cast<unsigned long long>(sr.prune.pool_rebuilds),
+          static_cast<unsigned long long>(sr.prune.bound_rebuilds));
+      std::printf(
+          "[%s] smoke pruning skip rate: %.1f%% of considered blocks "
+          "skipped (floor 10%%)\n",
+          sr.prune_skip_ok ? "PASS" : "FAIL",
+          sr.prune.blocks_total == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(sr.prune.blocks_skipped) /
+                    static_cast<double>(sr.prune.blocks_total));
     }
   }
   if (!json_path.empty()) {

@@ -18,7 +18,13 @@
 //   kQuery    u8 query, u64 epoch kAnswer    u64 epoch, answer bytes
 //   kStats                        kStatsOk   u64 latest_epoch, u64 applied,
 //                                            u64 queries, u64 retained,
-//                                            u64 in_flight
+//                                            u64 in_flight,
+//                                            u64 prune_blocks_total,
+//                                            u64 prune_blocks_scanned,
+//                                            u64 prune_blocks_skipped,
+//                                            u64 prune_pool_hits,
+//                                            u64 prune_pool_rebuilds,
+//                                            u64 prune_bound_rebuilds
 //   kShutdown                     kOk
 //   (malformed request)           kError     u32 code, message bytes
 //

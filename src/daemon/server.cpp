@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "harness/engine.hpp"
+#include "queries/top_k.hpp"
 
 namespace grbd {
 
@@ -190,6 +191,13 @@ Server::Stats Server::stats() const {
   s.retained = store_.size();
   const std::uint64_t assigned = last_assigned();
   s.in_flight = assigned > s.latest_epoch ? assigned - s.latest_epoch : 0;
+  const queries::PruneStats p = queries::prune_counters();
+  s.prune_blocks_total = p.blocks_total;
+  s.prune_blocks_scanned = p.blocks_scanned;
+  s.prune_blocks_skipped = p.blocks_skipped;
+  s.prune_pool_hits = p.pool_hits;
+  s.prune_pool_rebuilds = p.pool_rebuilds;
+  s.prune_bound_rebuilds = p.bound_rebuilds;
   return s;
 }
 
@@ -260,6 +268,12 @@ bool Server::handle_frame(const Frame& f, int out_fd) {
       out.u64(s.queries);
       out.u64(s.retained);
       out.u64(s.in_flight);
+      out.u64(s.prune_blocks_total);
+      out.u64(s.prune_blocks_scanned);
+      out.u64(s.prune_blocks_skipped);
+      out.u64(s.prune_pool_hits);
+      out.u64(s.prune_pool_rebuilds);
+      out.u64(s.prune_bound_rebuilds);
       return write_frame(out_fd, MsgType::kStatsOk, out.data());
     }
     case MsgType::kShutdown: {

@@ -105,6 +105,15 @@ class Server {
     std::uint64_t queries = 0;    ///< answers served
     std::uint64_t retained = 0;   ///< snapshots currently in the window
     std::uint64_t in_flight = 0;  ///< enqueued but not yet published
+    /// Process-global top-k pruning counters (queries::prune_counters):
+    /// written by the writer thread's engines, snapshotted here from
+    /// relaxed atomics — connection threads never touch engine state.
+    std::uint64_t prune_blocks_total = 0;
+    std::uint64_t prune_blocks_scanned = 0;
+    std::uint64_t prune_blocks_skipped = 0;
+    std::uint64_t prune_pool_hits = 0;
+    std::uint64_t prune_pool_rebuilds = 0;
+    std::uint64_t prune_bound_rebuilds = 0;
   };
   [[nodiscard]] Stats stats() const;
 

@@ -54,20 +54,76 @@ void GrbIncrementalEngine::load(const sm::SocialGraph& g) {
   state_ = GrbState::from_graph(g);
 }
 
-void GrbIncrementalEngine::offer(Index entity, U64 score) {
+Ranked GrbIncrementalEngine::ranked_of(Index entity, U64 score) const {
   const bool q1 = query_ == harness::Query::kQ1;
-  top_.offer(Ranked{
+  return Ranked{
       q1 ? state_.post_id(entity) : state_.comment_id(entity), score,
-      q1 ? state_.post_timestamp(entity) : state_.comment_timestamp(entity)});
+      q1 ? state_.post_timestamp(entity) : state_.comment_timestamp(entity)};
+}
+
+void GrbIncrementalEngine::offer(Index entity, U64 score) {
+  top_.offer(ranked_of(entity, score));
 }
 
 std::string GrbIncrementalEngine::initial() {
   // First step: full evaluation (the paper's engine switches to incremental
-  // maintenance from the second step on).
+  // maintenance from the second step on). The same scan seeds the pruning
+  // state: exact block bounds from the fresh score vector and the candidate
+  // pool from the ranked walk.
   scores_ = query_ == harness::Query::kQ1 ? q1_batch_scores(state_)
                                           : q2_batch_scores(state_);
-  top_ = scan_top_k(state_, query_, scores_);
+  const bool q1 = query_ == harness::Query::kQ1;
+  const Index n = q1 ? state_.num_posts() : state_.num_comments();
+  bounds_.reset(n);
+  pool_.clear();
+  top_ = TopK(3);
+  PruneStats stats;
+  stats.pool_rebuilds = 1;
+  const auto idx = scores_.indices();
+  const auto val = scores_.values();
+  std::size_t pos = 0;
+  for (Index i = 0; i < n; ++i) {
+    U64 v = 0;
+    if (pos < idx.size() && idx[pos] == i) {
+      v = val[pos];
+      ++pos;
+    }
+    bounds_.raise(i, v);
+    const Ranked r = ranked_of(i, v);
+    top_.offer_guarded(r);
+    pool_.offer_guarded(i, r);
+  }
+  prune_stats_ += stats;
+  add_prune_counters(stats);
   return top_.answer();
+}
+
+void GrbIncrementalEngine::pruned_rerank(PruneStats& stats) {
+  TopK top(top_.k());
+  pool_.seed(top, stats);
+  const auto idx = scores_.indices();
+  const auto val = scores_.values();
+  std::size_t pos = 0;  // linear cursor: blocks are visited in order
+  pruned_blocks(
+      top, bounds_.num_blocks(), [&](Index b) { return bounds_.bound(b); },
+      [&](Index b) {
+        const Index lo = bounds_.block_lo(b);
+        const Index hi = bounds_.block_hi(b);
+        pos = static_cast<std::size_t>(
+            std::lower_bound(idx.begin() + pos, idx.end(), lo) - idx.begin());
+        for (Index i = lo; i < hi; ++i) {
+          U64 v = 0;
+          if (pos < idx.size() && idx[pos] == i) {
+            v = val[pos];
+            ++pos;
+          }
+          const Ranked r = ranked_of(i, v);
+          top.offer_guarded(r);
+          pool_.offer_guarded(i, r);  // harvest survivors back into the pool
+        }
+      },
+      stats);
+  top_ = std::move(top);
 }
 
 std::string GrbIncrementalEngine::update(const sm::ChangeSet& cs) {
@@ -76,32 +132,49 @@ std::string GrbIncrementalEngine::update(const sm::ChangeSet& cs) {
       query_ == harness::Query::kQ1
           ? q1_incremental_update(state_, delta, scores_)
           : q2_incremental_update(state_, delta, scores_);
+  const bool removals = delta.has_removals();
+  const bool q1 = query_ == harness::Query::kQ1;
+  const Index n = q1 ? state_.num_posts() : state_.num_comments();
 
-  if (delta.has_removals()) {
+  // Fold this epoch's changed pairs into the pruning state on *every*
+  // epoch: every score change flows through `changed`, which is what keeps
+  // the pool values exact and the bounds valid upper bounds across change
+  // sets. Newborn entities land in zero-bound blocks; their first nonzero
+  // score arrives as a changed pair.
+  bounds_.resize(n);
+  PruneStats stats;
+  const auto value_of = [&](Index i) { return scores_.at_or(i, 0); };
+  const auto ci = changed.indices();
+  const auto cv = changed.values();
+  for (std::size_t k = 0; k < ci.size(); ++k) {
+    bounds_.note_change(ci[k], cv[k], removals, value_of, stats);
+    pool_.offer(ci[k], ranked_of(ci[k], cv[k]));
+  }
+  const auto& newborn = q1 ? delta.new_posts : delta.new_comments;
+  for (const Index i : newborn) {
+    pool_.offer(i, ranked_of(i, scores_.at_or(i, 0)));
+  }
+
+  if (removals) {
     // Scores are no longer monotone, so merging changed entities into the
     // previous top-3 is unsound (a demoted leader must fall out in favour
-    // of an entity we never offered). The maintained score vector makes the
-    // re-rank a plain O(n) scan — no reevaluation.
-    top_ = scan_top_k(state_, query_, scores_);
+    // of an entity we never offered). Instead of the old full O(n) re-rank:
+    // seed the threshold from the pool, then scan only the blocks whose
+    // upper bound can still beat it.
+    pruned_rerank(stats);
   } else {
     // Insert-only fast path: merge the previous top-3 with (a) every entity
     // whose score changed and (b) new zero-score entities, which can rank
     // by recency.
-    const auto ci = changed.indices();
-    const auto cv = changed.values();
     for (std::size_t k = 0; k < ci.size(); ++k) {
       offer(ci[k], cv[k]);
     }
-    if (query_ == harness::Query::kQ1) {
-      for (const Index p : delta.new_posts) {
-        offer(p, scores_.at_or(p, 0));
-      }
-    } else {
-      for (const Index c : delta.new_comments) {
-        offer(c, scores_.at_or(c, 0));
-      }
+    for (const Index i : newborn) {
+      offer(i, scores_.at_or(i, 0));
     }
   }
+  prune_stats_ += stats;
+  add_prune_counters(stats);
   grb::recycle(std::move(changed));
   return top_.answer();
 }

@@ -56,14 +56,25 @@ class GrbIncrementalEngine final : public harness::Engine {
   [[nodiscard]] const grb::Vector<std::uint64_t>& scores() const {
     return scores_;
   }
+  /// Cumulative pruning activity of this engine's removal re-ranks.
+  [[nodiscard]] const PruneStats& prune_stats() const { return prune_stats_; }
 
  private:
   void offer(Index entity, std::uint64_t score);
+  [[nodiscard]] Ranked ranked_of(Index entity, std::uint64_t score) const;
+  /// Removal re-rank: seed from the pool, then block-scan only where the
+  /// bound can still beat the running threshold.
+  void pruned_rerank(PruneStats& stats);
 
   harness::Query query_;
   GrbState state_;
   grb::Vector<std::uint64_t> scores_{0};
   TopK top_{3};
+  /// Writer-owned pruning state over the maintained entity space (posts for
+  /// Q1, comments for Q2), kept current from the per-epoch changed pairs.
+  BlockBounds bounds_;
+  CandidatePool pool_;
+  PruneStats prune_stats_;
 };
 
 class GrbIncrementalCcEngine final : public harness::Engine {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "grb/detail/parallel.hpp"
+#include "grb/detail/sparse_builder.hpp"
 #include "lagraph/cc_fastsv.hpp"
 
 namespace queries {
@@ -28,22 +29,18 @@ U64 q2_comment_score(const GrbState& state, Index comment) {
 
 grb::Vector<U64> q2_batch_scores(const GrbState& state) {
   const Index nc = state.num_comments();
-  std::vector<U64> scores(nc, 0);
+  auto scores_lease = grb::detail::workspace().lease<U64>(nc);
+  auto& scores = *scores_lease;
+  scores.assign(nc, 0);
   // OpenMP parallelism at comment granularity (paper, Sec. IV). The helper
   // respects grb::set_threads, which the harness uses to pin 1 vs 8 threads.
   grb::detail::parallel_for(
       nc, [&](Index c) { scores[c] = q2_comment_score(state, c); },
       state.likes().nvals() + nc);
 
-  std::vector<Index> idx;
-  std::vector<U64> vals;
-  for (Index c = 0; c < nc; ++c) {
-    if (scores[c] != 0) {
-      idx.push_back(c);
-      vals.push_back(scores[c]);
-    }
-  }
-  return grb::Vector<U64>::adopt_sorted(nc, std::move(idx), std::move(vals));
+  return grb::detail::compact_dense<U64>(
+      nc, [&](Index c) { return scores[c] != 0; },
+      [&](Index c) { return scores[c]; });
 }
 
 std::vector<Index> q2_affected_comments(const GrbState& state,

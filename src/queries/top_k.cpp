@@ -1,6 +1,7 @@
 #include "queries/top_k.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace queries {
 
@@ -42,6 +43,111 @@ TopK top_k_of(std::size_t k, const std::vector<Ranked>& all) {
     t.offer_guarded(r);
   }
   return t;
+}
+
+// --- Threshold-pruned answer extraction --------------------------------------
+
+bool block_can_beat(const TopK& top, std::uint64_t bound) noexcept {
+  if (!top.full()) return true;
+  // Best conceivable entity of the block: the bound as its score, the
+  // newest possible timestamp, the smallest possible id. If even that
+  // candidate ranks at or after the kth entry, nothing in the block can
+  // enter the answer.
+  const Ranked best_conceivable{
+      /*id=*/0, /*score=*/bound,
+      /*timestamp=*/std::numeric_limits<sm::Timestamp>::max()};
+  return ranks_before(best_conceivable, top.worst());
+}
+
+void BlockBounds::reset(Index n) {
+  n_ = n;
+  const Index blocks = n == 0 ? 0 : (n + width_ - 1) / width_;
+  bounds_.assign(blocks, 0);
+  stale_.assign(blocks, 0);
+}
+
+void BlockBounds::resize(Index n) {
+  if (n <= n_) return;
+  n_ = n;
+  const Index blocks = (n + width_ - 1) / width_;
+  if (blocks > bounds_.size()) {
+    bounds_.resize(blocks, 0);
+    stale_.resize(blocks, 0);
+  }
+}
+
+void CandidatePool::offer(Index idx, const Ranked& r) {
+  const auto same = std::find_if(entries_.begin(), entries_.end(),
+                                 [&](const Entry& e) { return e.idx == idx; });
+  if (same != entries_.end()) {
+    entries_.erase(same);
+  } else if (entries_.size() >= capacity_) {
+    if (!ranks_before(r, entries_.back().r)) return;
+    entries_.pop_back();
+  }
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), r,
+      [](const Entry& e, const Ranked& c) { return ranks_before(e.r, c); });
+  entries_.insert(pos, Entry{idx, r});
+}
+
+void CandidatePool::seed(TopK& top, PruneStats& stats) const {
+  for (const Entry& e : entries_) {
+    top.offer(e.r);
+    ++stats.pool_hits;
+  }
+}
+
+// --- Process-global prune counters -------------------------------------------
+
+namespace {
+
+struct AtomicPruneCounters {
+  std::atomic<std::uint64_t> blocks_total{0};
+  std::atomic<std::uint64_t> blocks_scanned{0};
+  std::atomic<std::uint64_t> blocks_skipped{0};
+  std::atomic<std::uint64_t> pool_hits{0};
+  std::atomic<std::uint64_t> pool_rebuilds{0};
+  std::atomic<std::uint64_t> bound_rebuilds{0};
+};
+
+AtomicPruneCounters& counters() {
+  static AtomicPruneCounters c;
+  return c;
+}
+
+}  // namespace
+
+PruneStats prune_counters() noexcept {
+  AtomicPruneCounters& c = counters();
+  PruneStats s;
+  s.blocks_total = c.blocks_total.load(std::memory_order_relaxed);
+  s.blocks_scanned = c.blocks_scanned.load(std::memory_order_relaxed);
+  s.blocks_skipped = c.blocks_skipped.load(std::memory_order_relaxed);
+  s.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
+  s.pool_rebuilds = c.pool_rebuilds.load(std::memory_order_relaxed);
+  s.bound_rebuilds = c.bound_rebuilds.load(std::memory_order_relaxed);
+  return s;
+}
+
+void add_prune_counters(const PruneStats& delta) noexcept {
+  AtomicPruneCounters& c = counters();
+  c.blocks_total.fetch_add(delta.blocks_total, std::memory_order_relaxed);
+  c.blocks_scanned.fetch_add(delta.blocks_scanned, std::memory_order_relaxed);
+  c.blocks_skipped.fetch_add(delta.blocks_skipped, std::memory_order_relaxed);
+  c.pool_hits.fetch_add(delta.pool_hits, std::memory_order_relaxed);
+  c.pool_rebuilds.fetch_add(delta.pool_rebuilds, std::memory_order_relaxed);
+  c.bound_rebuilds.fetch_add(delta.bound_rebuilds, std::memory_order_relaxed);
+}
+
+void reset_prune_counters() noexcept {
+  AtomicPruneCounters& c = counters();
+  c.blocks_total.store(0, std::memory_order_relaxed);
+  c.blocks_scanned.store(0, std::memory_order_relaxed);
+  c.blocks_skipped.store(0, std::memory_order_relaxed);
+  c.pool_hits.store(0, std::memory_order_relaxed);
+  c.pool_rebuilds.store(0, std::memory_order_relaxed);
+  c.bound_rebuilds.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace queries

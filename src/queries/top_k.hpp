@@ -3,15 +3,48 @@
 // deterministic total order). The incremental engines exploit that scores
 // never decrease under insert-only updates: merging the previous top-k with
 // the entities whose scores changed is sufficient to maintain the answer.
+//
+// Removal-bearing change sets break that monotonicity, and the re-rank they
+// force used to be an unconditional full scan. The pruned layer below (the
+// maxscore trick, adapted to incremental maintenance) kills those rescans:
+//
+//   BlockBounds    — per-block score *upper bounds* over the dense entity id
+//                    space, maintained incrementally from each epoch's
+//                    changed (idx, val) pairs. Raising values raise the
+//                    bound eagerly; lowering values only mark the block
+//                    stale (the bound stays a valid upper bound), and an
+//                    exact rebuild happens lazily when a block's staleness
+//                    crosses a budget.
+//   CandidatePool  — a bounded per-shard pool of the strongest entities,
+//                    kept value-exact across change sets (every score
+//                    change flows through the per-epoch changed sets), so a
+//                    re-rank can seed the top-k — and thus the pruning
+//                    threshold — before touching any block.
+//   block_can_beat — the skip test: a block is scanned only if a candidate
+//                    with the block's bound, the best conceivable timestamp
+//                    and the best conceivable id would still rank before
+//                    the current kth entry. The tie fields are part of the
+//                    test (a block whose bound *equals* the threshold score
+//                    must be scanned — an entity there can still win on
+//                    timestamp or id), which is what keeps the pruned
+//                    answer byte-identical to the full scan.
+//
+// Every engine that prunes also reports PruneStats; the process-global
+// accumulators (prune_counters / add_prune_counters / reset_prune_counters,
+// the WorkspaceStats-style accessor trio) feed the benches' JSON and the
+// daemon's kStats response.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "model/social_graph.hpp"
 
 namespace queries {
+
+using Index = std::uint64_t;
 
 struct Ranked {
   sm::NodeId id = 0;
@@ -48,6 +81,15 @@ class TopK {
     return entries_;
   }
 
+  /// True once k entries are held — the precondition for pruning (an
+  /// unfilled top-k can never refuse a candidate).
+  [[nodiscard]] bool full() const noexcept { return entries_.size() >= k_; }
+  /// The kth (worst) entry — the pruning threshold. Only valid when
+  /// !entries().empty().
+  [[nodiscard]] const Ranked& worst() const noexcept {
+    return entries_.back();
+  }
+
   /// Contest answer string: ids of the best entries joined with '|'.
   [[nodiscard]] std::string answer() const;
 
@@ -61,5 +103,219 @@ class TopK {
 
 /// Builds the answer from a full candidate scan (batch engines).
 TopK top_k_of(std::size_t k, const std::vector<Ranked>& all);
+
+// --- Threshold-pruned answer extraction --------------------------------------
+
+/// Counters of the pruned re-rank path. blocks_total counts every block a
+/// pruned scan *considered* (before the skip decision), so
+/// blocks_scanned + blocks_skipped == blocks_total is an invariant the CI
+/// smoke gates — a code path that forgets to count breaks the equation
+/// instead of silently rotting.
+struct PruneStats {
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t pool_hits = 0;      ///< candidates seeded from pools
+  std::uint64_t pool_rebuilds = 0;  ///< full-scan pool (re)builds
+  std::uint64_t bound_rebuilds = 0; ///< lazy exact bound recomputations
+
+  PruneStats& operator+=(const PruneStats& o) noexcept {
+    blocks_total += o.blocks_total;
+    blocks_scanned += o.blocks_scanned;
+    blocks_skipped += o.blocks_skipped;
+    pool_hits += o.pool_hits;
+    pool_rebuilds += o.pool_rebuilds;
+    bound_rebuilds += o.bound_rebuilds;
+    return *this;
+  }
+  friend bool operator==(const PruneStats&, const PruneStats&) = default;
+};
+
+/// Process-global prune counters (WorkspaceStats-style accessors): every
+/// pruned re-rank adds its deltas with add_prune_counters, benches and the
+/// daemon read snapshots with prune_counters. The adders run on whichever
+/// thread owns the engine (the writer thread, in the daemon); the fields are
+/// relaxed atomics underneath, so stats readers on other threads are safe.
+[[nodiscard]] PruneStats prune_counters() noexcept;
+void add_prune_counters(const PruneStats& delta) noexcept;
+void reset_prune_counters() noexcept;
+
+/// Dense ids per bound block. Small enough that pruning bites at the bench
+/// scale factors, big enough that the bounds array stays negligible
+/// (n / 256 u64s) and a scanned block amortises its skip test.
+inline constexpr Index kPruneBlockWidth = 256;
+/// Lowering events a block absorbs before its bound is recomputed exactly.
+/// Removals between rebuilds leave the bound stale-high — still a valid
+/// upper bound, so correctness never depends on this number; it only trades
+/// rebuild work against skip precision.
+inline constexpr std::uint32_t kStaleBudget = 16;
+/// Candidate pool capacity (entities per shard). Must be >= the answer k;
+/// the slack keeps the seed threshold strong while removals demote leaders.
+inline constexpr std::size_t kPoolCapacity = 12;
+
+/// The skip test, tie fields included: can a block with score upper bound
+/// `bound` still place an entity into `top`? Compares the best conceivable
+/// candidate (score = bound, newest possible timestamp, smallest possible
+/// id) against the current kth entry under the full ranks_before order — so
+/// bound == threshold score never skips, and byte-identity survives ties at
+/// exactly the threshold.
+[[nodiscard]] bool block_can_beat(const TopK& top,
+                                  std::uint64_t bound) noexcept;
+
+/// Per-block score upper bounds over one dense entity id space (one shard's
+/// comments, or the merged post totals). Maintained by the thread that owns
+/// the answer extraction — the engines' update path or the pipelined
+/// publisher — never shared.
+class BlockBounds {
+ public:
+  explicit BlockBounds(Index block_width = kPruneBlockWidth)
+      : width_(block_width == 0 ? kPruneBlockWidth : block_width) {}
+
+  /// Forgets everything and re-covers [0, n) with zero bounds. The caller
+  /// re-raises from a full scan (initial evaluation).
+  void reset(Index n);
+  /// Grows the covered space to [0, n); existing bounds are kept, newborn
+  /// blocks start at bound 0 (new entities are born with score 0 — their
+  /// first nonzero score arrives as a changed pair and raises the bound).
+  void resize(Index n);
+
+  [[nodiscard]] Index num_entities() const noexcept { return n_; }
+  [[nodiscard]] Index num_blocks() const noexcept {
+    return static_cast<Index>(bounds_.size());
+  }
+  [[nodiscard]] Index block_width() const noexcept { return width_; }
+  [[nodiscard]] Index block_of(Index i) const noexcept { return i / width_; }
+  [[nodiscard]] Index block_lo(Index b) const noexcept { return b * width_; }
+  [[nodiscard]] Index block_hi(Index b) const noexcept {
+    const Index hi = block_lo(b) + width_;
+    return hi < n_ ? hi : n_;
+  }
+  [[nodiscard]] std::uint64_t bound(Index b) const noexcept {
+    return bounds_[b];
+  }
+  [[nodiscard]] std::uint32_t staleness(Index b) const noexcept {
+    return stale_[b];
+  }
+
+  /// Raise-only fold (insert-only epochs, initial full scans): bound =
+  /// max(bound, v). Never touches staleness.
+  void raise(Index i, std::uint64_t v) noexcept {
+    const Index b = block_of(i);
+    if (v > bounds_[b]) bounds_[b] = v;
+  }
+
+  /// Folds one changed entry whose new value is `v`. When the change may
+  /// have *lowered* the block maximum (a removal epoch), the block's
+  /// staleness advances; crossing the budget triggers the lazy exact
+  /// rebuild via `value_of(i) -> current score of entity i`. Stats get the
+  /// rebuild count.
+  template <typename ValueF>
+  void note_change(Index i, std::uint64_t v, bool may_lower, ValueF&& value_of,
+                   PruneStats& stats) {
+    const Index b = block_of(i);
+    if (v > bounds_[b]) bounds_[b] = v;
+    if (!may_lower) return;
+    if (++stale_[b] < kStaleBudget) return;
+    rebuild_block(b, value_of);
+    ++stats.bound_rebuilds;
+  }
+
+  /// Exact bound for one block: max of value_of over its entities. Resets
+  /// the block's staleness.
+  template <typename ValueF>
+  void rebuild_block(Index b, ValueF&& value_of) {
+    std::uint64_t m = 0;
+    const Index hi = block_hi(b);
+    for (Index i = block_lo(b); i < hi; ++i) {
+      const std::uint64_t v = value_of(i);
+      if (v > m) m = v;
+    }
+    bounds_[b] = m;
+    stale_[b] = 0;
+  }
+
+ private:
+  Index width_;
+  Index n_ = 0;
+  std::vector<std::uint64_t> bounds_;  // bounds_[b] >= max score in block b
+  std::vector<std::uint32_t> stale_;   // lowerings since last exact bound
+};
+
+/// Bounded pool of the strongest candidates of one dense entity space,
+/// maintained across change sets. Values are kept *exact*: every score
+/// change of a pool member arrives as a changed (idx, val) pair and is
+/// folded in with offer(), so seeding reads current values — which is what
+/// lets a removal re-rank trust the seeded threshold. Membership quality
+/// may decay (an untouched entity can outgrow a demoted member), but that
+/// only weakens the seed, never the answer: correctness lives entirely in
+/// the block-bound skip test.
+class CandidatePool {
+ public:
+  explicit CandidatePool(std::size_t capacity = kPoolCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  struct Entry {
+    Index idx = 0;  ///< dense entity id (pool-local key)
+    Ranked r;
+  };
+
+  /// Insert-or-replace by dense id. A member's value is always replaced
+  /// (it may drop — the pool mirrors current values); a non-member is
+  /// admitted when the pool has room or it beats the current worst, which
+  /// is evicted on overflow.
+  void offer(Index idx, const Ranked& r);
+
+  /// offer() behind the full-scan pre-filter: skips candidates that cannot
+  /// enter a full pool. Sound only for rebuild scans, where each entity is
+  /// offered exactly once (a member's lowered value would be missed).
+  void offer_guarded(Index idx, const Ranked& r) {
+    if (entries_.size() < capacity_ ||
+        ranks_before(r, entries_.back().r)) {
+      offer(idx, r);
+    }
+  }
+
+  /// Seeds a fresh top-k with every pooled entry (best first), counting
+  /// pool_hits.
+  void seed(TopK& top, PruneStats& stats) const;
+
+  void clear() noexcept { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Sorted best-first.
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;  // sorted best-first, unique idx, ≤ capacity
+};
+
+/// The pruned block walk: considers every block of [0, num_blocks) in
+/// order, skipping those whose upper bound provably cannot beat the running
+/// kth-best threshold and scanning the rest. `bound_of(b)` returns the
+/// block's score upper bound; `scan_block(b)` must offer every entity of
+/// block b (with its *current* score) into `top`. Counters land in `stats`.
+///
+/// Byte-identity argument: a skipped block fails block_can_beat, i.e. the
+/// top-k already holds k real entities that each rank before every possible
+/// entity of that block under the full (score, timestamp, id) order — so no
+/// member of the block is in the true top-k, and the surviving entries are
+/// exactly the full scan's (TopK contents are offer-order-independent under
+/// a strict total order).
+template <typename BoundF, typename ScanF>
+void pruned_blocks(TopK& top, Index num_blocks, BoundF&& bound_of,
+                   ScanF&& scan_block, PruneStats& stats) {
+  for (Index b = 0; b < num_blocks; ++b) {
+    ++stats.blocks_total;
+    if (!block_can_beat(top, bound_of(b))) {
+      ++stats.blocks_skipped;
+      continue;
+    }
+    ++stats.blocks_scanned;
+    scan_block(b);
+  }
+}
 
 }  // namespace queries

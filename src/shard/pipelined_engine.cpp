@@ -98,7 +98,40 @@ std::string GrbPipelinedEngine::initial() {
         mirror_[s][static_cast<std::size_t>(idx[k])] = val[k];
       }
     }
-    top_ = query_ == harness::Query::kQ1 ? scan_q1_mirror() : scan_q2_mirror();
+    // The epoch-0 full scan doubles as the pruning-state build: exact
+    // block bounds raised from the fresh mirrors, candidate pools filled
+    // from the ranked walk (one counted full-scan rebuild per pool).
+    top_ = queries::TopK(3);
+    queries::PruneStats stats;
+    if (query_ == harness::Query::kQ1) {
+      bounds_.assign(1, queries::BlockBounds());
+      pools_.assign(1, queries::CandidatePool());
+      bounds_[0].reset(static_cast<Index>(post_ids_.size()));
+      stats.pool_rebuilds = 1;
+      for (std::size_t p = 0; p < post_ids_.size(); ++p) {
+        U64 total = 0;
+        for (std::size_t s = 0; s < n; ++s) total += mirror_[s][p];
+        bounds_[0].raise(static_cast<Index>(p), total);
+        const Ranked r{post_ids_[p], total, post_ts_[p]};
+        top_.offer_guarded(r);
+        pools_[0].offer_guarded(static_cast<Index>(p), r);
+      }
+    } else {
+      bounds_.assign(n, queries::BlockBounds());
+      pools_.assign(n, queries::CandidatePool());
+      stats.pool_rebuilds = n;
+      for (std::size_t s = 0; s < n; ++s) {
+        bounds_[s].reset(static_cast<Index>(comment_ids_[s].size()));
+        for (std::size_t c = 0; c < comment_ids_[s].size(); ++c) {
+          bounds_[s].raise(static_cast<Index>(c), mirror_[s][c]);
+          const Ranked r{comment_ids_[s][c], mirror_[s][c], comment_ts_[s][c]};
+          top_.offer_guarded(r);
+          pools_[s].offer_guarded(static_cast<Index>(c), r);
+        }
+      }
+    }
+    prune_stats_ += stats;
+    queries::add_prune_counters(stats);
     return top_.answer();
   }
 
@@ -233,59 +266,93 @@ std::string GrbPipelinedEngine::merge_next() {
 
   std::string answer;
   if (mode_ == Mode::kIncremental) {
+    // Resize the mirrors first so newborn entities are readable (at zero)
+    // before any fold or offer touches them.
     for (std::size_t s = 0; s < n; ++s) {
       mirror_[s].resize(query_ == harness::Query::kQ1
                             ? post_ids_.size()
                             : comment_ids_[s].size(),
                         0);
-      for (const auto& [i, v] : slot.reports[s].changed) {
-        mirror_[s][static_cast<std::size_t>(i)] = v;
-      }
     }
+    queries::PruneStats stats;
     if (query_ == harness::Query::kQ1) {
-      if (removals) {
-        top_ = scan_q1_mirror();
-      } else {
-        // Insert-only fast path, candidate construction identical to
-        // GrbShardedIncrementalEngine::update: per-shard changed indices
-        // in shard order, then the replicated new posts, deduplicated.
-        std::vector<Index> candidates;
-        for (std::size_t s = 0; s < n; ++s) {
-          for (const auto& [i, v] : slot.reports[s].changed) {
-            candidates.push_back(i);
-          }
-        }
-        candidates.insert(candidates.end(), slot.reports[0].new_posts.begin(),
-                          slot.reports[0].new_posts.end());
-        std::sort(candidates.begin(), candidates.end());
-        candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                         candidates.end());
-        for (const Index p : candidates) {
-          U64 total = 0;
-          for (std::size_t s = 0; s < n; ++s) {
-            total += mirror_[s][static_cast<std::size_t>(p)];
-          }
-          top_.offer(Ranked{post_ids_[static_cast<std::size_t>(p)], total,
-                            post_ts_[static_cast<std::size_t>(p)]});
+      // Candidate construction identical to
+      // GrbShardedIncrementalEngine::update — per-shard changed indices in
+      // shard order, then the replicated new posts, deduplicated — built on
+      // every epoch now: folding the union's merged totals keeps the
+      // bounds valid and the pool values exact across change sets. The old
+      // totals (read before the mirror fold) make the may-lower signal
+      // exact per post, unlike the serial engine's epoch-level flag.
+      std::vector<Index> candidates;
+      for (std::size_t s = 0; s < n; ++s) {
+        for (const auto& [i, v] : slot.reports[s].changed) {
+          candidates.push_back(i);
         }
       }
+      candidates.insert(candidates.end(), slot.reports[0].new_posts.begin(),
+                        slot.reports[0].new_posts.end());
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      bounds_[0].resize(static_cast<Index>(post_ids_.size()));
+      const auto total_of = [&](Index p) {
+        U64 total = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+          total += mirror_[s][static_cast<std::size_t>(p)];
+        }
+        return total;
+      };
+      std::vector<U64> old_total(candidates.size());
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        old_total[k] = total_of(candidates[k]);
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        for (const auto& [i, v] : slot.reports[s].changed) {
+          mirror_[s][static_cast<std::size_t>(i)] = v;
+        }
+      }
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const Index p = candidates[k];
+        const U64 total = total_of(p);
+        bounds_[0].note_change(p, total, total < old_total[k], total_of,
+                               stats);
+        const Ranked r{post_ids_[static_cast<std::size_t>(p)], total,
+                       post_ts_[static_cast<std::size_t>(p)]};
+        pools_[0].offer(p, r);
+        if (!removals) top_.offer(r);
+      }
+      if (removals) pruned_q1_mirror_rerank(stats);
     } else {
-      if (removals) {
-        top_ = scan_q2_mirror();
-      } else {
-        for (std::size_t s = 0; s < n; ++s) {
-          for (const auto& [i, v] : slot.reports[s].changed) {
-            top_.offer(Ranked{comment_ids_[s][static_cast<std::size_t>(i)], v,
-                              comment_ts_[s][static_cast<std::size_t>(i)]});
-          }
-          for (const Index c : slot.reports[s].new_comments) {
-            top_.offer(Ranked{comment_ids_[s][static_cast<std::size_t>(c)],
-                              mirror_[s][static_cast<std::size_t>(c)],
-                              comment_ts_[s][static_cast<std::size_t>(c)]});
-          }
+      // Q2: shards own disjoint comment spaces, so fold + offer can run
+      // per shard (the serial engine's fold-all-then-offer order commutes).
+      for (std::size_t s = 0; s < n; ++s) {
+        bounds_[s].resize(static_cast<Index>(comment_ids_[s].size()));
+        const auto value_of = [&](Index c) {
+          return mirror_[s][static_cast<std::size_t>(c)];
+        };
+        for (const auto& [i, v] : slot.reports[s].changed) {
+          // Exact may-lower: the pre-overwrite mirror value is this
+          // publisher's epoch-consistent old score.
+          const U64 old = mirror_[s][static_cast<std::size_t>(i)];
+          mirror_[s][static_cast<std::size_t>(i)] = v;
+          bounds_[s].note_change(i, v, v < old, value_of, stats);
+          const Ranked r{comment_ids_[s][static_cast<std::size_t>(i)], v,
+                         comment_ts_[s][static_cast<std::size_t>(i)]};
+          pools_[s].offer(i, r);
+          if (!removals) top_.offer(r);
+        }
+        for (const Index c : slot.reports[s].new_comments) {
+          const Ranked r{comment_ids_[s][static_cast<std::size_t>(c)],
+                         mirror_[s][static_cast<std::size_t>(c)],
+                         comment_ts_[s][static_cast<std::size_t>(c)]};
+          pools_[s].offer(c, r);
+          if (!removals) top_.offer(r);
         }
       }
+      if (removals) pruned_q2_mirror_rerank(stats);
     }
+    prune_stats_ += stats;
+    queries::add_prune_counters(stats);
     answer = top_.answer();
   } else {
     // Batch mode: fresh merged scan over this epoch's reported score
@@ -370,6 +437,54 @@ TopK GrbPipelinedEngine::scan_q2_mirror() const {
   return top;
 }
 
+void GrbPipelinedEngine::pruned_q1_mirror_rerank(queries::PruneStats& stats) {
+  const std::size_t n = state_.num_shards();
+  TopK top(3);
+  pools_[0].seed(top, stats);
+  queries::pruned_blocks(
+      top, bounds_[0].num_blocks(),
+      [&](Index b) { return bounds_[0].bound(b); },
+      [&](Index b) {
+        const Index hi = bounds_[0].block_hi(b);
+        for (Index p = bounds_[0].block_lo(b); p < hi; ++p) {
+          U64 total = 0;
+          for (std::size_t s = 0; s < n; ++s) {
+            total += mirror_[s][static_cast<std::size_t>(p)];
+          }
+          const Ranked r{post_ids_[static_cast<std::size_t>(p)], total,
+                         post_ts_[static_cast<std::size_t>(p)]};
+          top.offer_guarded(r);
+          pools_[0].offer_guarded(p, r);
+        }
+      },
+      stats);
+  top_ = std::move(top);
+}
+
+void GrbPipelinedEngine::pruned_q2_mirror_rerank(queries::PruneStats& stats) {
+  TopK top(3);
+  // Seed from every shard's pool before any block decision — the stronger
+  // the threshold, the more shards prune.
+  for (const auto& pool : pools_) pool.seed(top, stats);
+  for (std::size_t s = 0; s < state_.num_shards(); ++s) {
+    queries::pruned_blocks(
+        top, bounds_[s].num_blocks(),
+        [&](Index b) { return bounds_[s].bound(b); },
+        [&](Index b) {
+          const Index hi = bounds_[s].block_hi(b);
+          for (Index c = bounds_[s].block_lo(b); c < hi; ++c) {
+            const Ranked r{comment_ids_[s][static_cast<std::size_t>(c)],
+                           mirror_[s][static_cast<std::size_t>(c)],
+                           comment_ts_[s][static_cast<std::size_t>(c)]};
+            top.offer_guarded(r);
+            pools_[s].offer_guarded(c, r);
+          }
+        },
+        stats);
+  }
+  top_ = std::move(top);
+}
+
 void GrbPipelinedEngine::reset_merge_state() {
   const std::size_t n = state_.num_shards();
   post_ids_.clear();
@@ -378,6 +493,8 @@ void GrbPipelinedEngine::reset_merge_state() {
   comment_ts_.assign(n, {});
   mirror_.assign(n, {});
   top_ = TopK(3);
+  bounds_.clear();
+  pools_.clear();
 }
 
 harness::EnginePtr make_pipelined_engine(const std::string& variant,

@@ -85,6 +85,11 @@ class GrbPipelinedEngine final : public harness::Engine {
   /// The underlying state — only safe to inspect with no epochs in flight
   /// (after update()/update_stream() return, the pipeline is drained).
   [[nodiscard]] const ShardedGrbState& state() const { return state_; }
+  /// Cumulative pruning activity of the merge thread's removal re-ranks
+  /// (incremental mode). Same in-flight caveat as state().
+  [[nodiscard]] const queries::PruneStats& prune_stats() const {
+    return prune_stats_;
+  }
 
  private:
   /// What one shard's stage publishes for one epoch. Immutable once the
@@ -116,6 +121,8 @@ class GrbPipelinedEngine final : public harness::Engine {
   std::string merge_next();
   [[nodiscard]] queries::TopK scan_q1_mirror() const;
   [[nodiscard]] queries::TopK scan_q2_mirror() const;
+  void pruned_q1_mirror_rerank(queries::PruneStats& stats);
+  void pruned_q2_mirror_rerank(queries::PruneStats& stats);
   void reset_merge_state();
 
   harness::Query query_;
@@ -144,6 +151,13 @@ class GrbPipelinedEngine final : public harness::Engine {
   /// at the merged epoch (incremental mode only).
   std::vector<std::vector<std::uint64_t>> mirror_;
   queries::TopK top_{3};
+  /// Pruning state over the mirrors, folded publisher-side per epoch so the
+  /// merge thread stays the engines' only owner (no shared mutable state on
+  /// any reader path). Q1: one bounds/pool pair over merged totals (index
+  /// 0); Q2: one pair per shard's comment space. Incremental mode only.
+  std::vector<queries::BlockBounds> bounds_;
+  std::vector<queries::CandidatePool> pools_;
+  queries::PruneStats prune_stats_;
 };
 
 /// Factory used by the harness registry: variant is "pipelined-batch" or

@@ -155,6 +155,15 @@ TEST(DaemonServer, HelloApplyQueryConversation) {
     EXPECT_GE(in.u64(), 5u);  // queries served
     EXPECT_EQ(in.u64(), 2u);  // retained snapshots
     EXPECT_EQ(in.u64(), 0u);  // in flight
+    // Prune counters (process-global, so only invariants are checked):
+    // every considered block was either scanned or skipped.
+    const std::uint64_t blocks_total = in.u64();
+    const std::uint64_t blocks_scanned = in.u64();
+    const std::uint64_t blocks_skipped = in.u64();
+    EXPECT_EQ(blocks_scanned + blocks_skipped, blocks_total);
+    (void)in.u64();  // pool_hits
+    EXPECT_GE(in.u64(), 1u);  // pool_rebuilds: initial() built the pools
+    (void)in.u64();  // bound_rebuilds
     in.expect_done();
   }
 

@@ -89,4 +89,225 @@ TEST(TopK, ClearEmptiesAnswer) {
   EXPECT_EQ(t.answer(), "");
 }
 
+// --- Threshold-pruned extraction primitives ---------------------------------
+
+using queries::BlockBounds;
+using queries::CandidatePool;
+using queries::Index;
+using queries::PruneStats;
+
+TEST(BlockCanBeat, UnfilledTopKNeverSkips) {
+  TopK t(3);
+  t.offer({1, 100, 0});
+  t.offer({2, 90, 0});
+  EXPECT_TRUE(queries::block_can_beat(t, 0));
+}
+
+TEST(BlockCanBeat, BoundAboveThresholdScans) {
+  TopK t(2);
+  t.offer({1, 100, 0});
+  t.offer({2, 50, 0});
+  EXPECT_TRUE(queries::block_can_beat(t, 51));
+  EXPECT_FALSE(queries::block_can_beat(t, 49));
+}
+
+TEST(BlockCanBeat, BoundEqualToThresholdMustScan) {
+  // An entity at exactly the bound can still win the tie on timestamp (or
+  // on id) — skipping here would break byte-identity with the full scan.
+  TopK t(2);
+  t.offer({1, 100, 0});
+  t.offer({2, 50, 10});
+  EXPECT_TRUE(queries::block_can_beat(t, 50));
+}
+
+TEST(BlockCanBeat, ZeroScoresRankByRecencySoZeroBoundScans) {
+  // When the kth entry's score is 0, recency decides the answer and a
+  // zero-bound block can still hold the winner.
+  TopK t(2);
+  t.offer({1, 0, 500});
+  t.offer({2, 0, 400});
+  EXPECT_TRUE(queries::block_can_beat(t, 0));
+}
+
+TEST(BlockBounds, RaiseTracksPerBlockMaxima) {
+  BlockBounds bb(4);
+  bb.reset(10);  // blocks [0,4) [4,8) [8,10)
+  EXPECT_EQ(bb.num_blocks(), 3u);
+  bb.raise(0, 7);
+  bb.raise(3, 5);
+  bb.raise(9, 11);
+  EXPECT_EQ(bb.bound(0), 7u);
+  EXPECT_EQ(bb.bound(1), 0u);
+  EXPECT_EQ(bb.bound(2), 11u);
+  bb.raise(0, 3);  // raise-only: never lowers
+  EXPECT_EQ(bb.bound(0), 7u);
+}
+
+TEST(BlockBounds, ResizeKeepsExistingAndCoversNewborns) {
+  BlockBounds bb(4);
+  bb.reset(4);
+  bb.raise(2, 9);
+  bb.resize(10);
+  EXPECT_EQ(bb.num_blocks(), 3u);
+  EXPECT_EQ(bb.bound(0), 9u);
+  EXPECT_EQ(bb.bound(2), 0u);
+  bb.resize(6);  // shrinking request is a no-op
+  EXPECT_EQ(bb.num_entities(), 10u);
+}
+
+TEST(BlockBounds, LoweringLeavesStaleHighBoundUntilBudget) {
+  std::vector<std::uint64_t> values(8, 0);
+  const auto value_of = [&](Index i) { return values[i]; };
+  BlockBounds bb(8);
+  bb.reset(8);
+  values[3] = 100;
+  bb.raise(3, 100);
+  PruneStats st;
+  // Lower entity 3 repeatedly: the bound must stay a valid upper bound
+  // (stale-high is fine) until the staleness budget forces an exact rebuild.
+  for (std::uint32_t n = 1; n < queries::kStaleBudget; ++n) {
+    values[3] -= 1;
+    bb.note_change(3, values[3], /*may_lower=*/true, value_of, st);
+    EXPECT_EQ(bb.bound(0), 100u);
+    EXPECT_GE(bb.bound(0), values[3]);
+    EXPECT_EQ(bb.staleness(0), n);
+  }
+  EXPECT_EQ(st.bound_rebuilds, 0u);
+  values[3] -= 1;
+  bb.note_change(3, values[3], /*may_lower=*/true, value_of, st);
+  EXPECT_EQ(st.bound_rebuilds, 1u);
+  EXPECT_EQ(bb.staleness(0), 0u);
+  EXPECT_EQ(bb.bound(0), values[3]);  // exact again
+}
+
+TEST(BlockBounds, NoteChangeRaisesEagerly) {
+  std::vector<std::uint64_t> values(4, 0);
+  BlockBounds bb(4);
+  bb.reset(4);
+  PruneStats st;
+  values[1] = 42;
+  bb.note_change(1, 42, /*may_lower=*/false,
+                 [&](Index i) { return values[i]; }, st);
+  EXPECT_EQ(bb.bound(0), 42u);
+  EXPECT_EQ(bb.staleness(0), 0u);  // insert-only epochs never age blocks
+}
+
+TEST(CandidatePool, EvictsWorstOnOverflow) {
+  CandidatePool pool(3);
+  pool.offer(1, {1, 10, 0});
+  pool.offer(2, {2, 20, 0});
+  pool.offer(3, {3, 30, 0});
+  pool.offer(4, {4, 5, 0});  // worse than everything: rejected
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.entries().back().r.id, 1u);
+  pool.offer(5, {5, 25, 0});  // beats the worst member: admits, evicts id 1
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.entries().front().r.id, 3u);
+  EXPECT_EQ(pool.entries()[1].r.id, 5u);
+  EXPECT_EQ(pool.entries().back().r.id, 2u);
+}
+
+TEST(CandidatePool, MemberValuesReplaceInPlaceEvenWhenLowered) {
+  // The pool's exactness contract: a member's score change — including a
+  // removal-driven drop — replaces its entry, so seeding reads the current
+  // value and the seeded threshold can be trusted.
+  CandidatePool pool(3);
+  pool.offer(1, {1, 100, 0});
+  pool.offer(2, {2, 90, 0});
+  pool.offer(1, {1, 10, 0});  // demoted
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.entries().front().r.id, 2u);
+  EXPECT_EQ(pool.entries().back().r, (Ranked{1, 10, 0}));
+}
+
+TEST(CandidatePool, SeedFillsTopKAndCountsHits) {
+  CandidatePool pool(4);
+  pool.offer(1, {1, 10, 0});
+  pool.offer(2, {2, 40, 0});
+  pool.offer(3, {3, 30, 0});
+  TopK top(2);
+  PruneStats st;
+  pool.seed(top, st);
+  EXPECT_EQ(top.answer(), "2|3");
+  EXPECT_EQ(st.pool_hits, 3u);
+}
+
+TEST(PrunedBlocks, CounterInvariantAndByteIdentity) {
+  // 64 entities in 8 blocks; the pruned walk with exact bounds must agree
+  // with the full scan and satisfy scanned + skipped == total.
+  std::vector<std::uint64_t> values(64, 0);
+  std::vector<Ranked> all;
+  std::uint64_t x = 12345;
+  for (Index i = 0; i < 64; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    values[i] = (x >> 33) % 1000;
+    all.push_back({i, values[i], static_cast<sm::Timestamp>(i % 7)});
+  }
+  BlockBounds bb(8);
+  bb.reset(64);
+  for (Index i = 0; i < 64; ++i) bb.raise(i, values[i]);
+  TopK top(3);
+  PruneStats st;
+  queries::pruned_blocks(
+      top, bb.num_blocks(), [&](Index b) { return bb.bound(b); },
+      [&](Index b) {
+        for (Index i = bb.block_lo(b); i < bb.block_hi(b); ++i) {
+          top.offer_guarded(all[i]);
+        }
+      },
+      st);
+  EXPECT_EQ(top.answer(), queries::top_k_of(3, all).answer());
+  EXPECT_EQ(st.blocks_total, 8u);
+  EXPECT_EQ(st.blocks_scanned + st.blocks_skipped, st.blocks_total);
+  EXPECT_GT(st.blocks_scanned, 0u);
+}
+
+TEST(PrunedBlocks, StaleHighBoundForcesScanNotWrongAnswer) {
+  // After a removal demotes the block's best entity, the unrebuilt bound is
+  // stale-high: the block is scanned unnecessarily (a perf matter), but the
+  // answer still matches the full scan (a correctness invariant).
+  std::vector<std::uint64_t> values(8, 1);
+  values[0] = 100;  // block 0's champion...
+  BlockBounds bb(4);
+  bb.reset(8);
+  for (Index i = 0; i < 8; ++i) bb.raise(i, values[i]);
+  PruneStats st;
+  values[0] = 0;  // ...is demoted; bound 100 goes stale-high
+  bb.note_change(0, 0, /*may_lower=*/true,
+                 [&](Index i) { return values[i]; }, st);
+  EXPECT_EQ(bb.bound(0), 100u);
+  TopK top(2);
+  std::vector<Ranked> all;
+  for (Index i = 0; i < 8; ++i) {
+    all.push_back({i, values[i], 0});
+  }
+  queries::pruned_blocks(
+      top, bb.num_blocks(), [&](Index b) { return bb.bound(b); },
+      [&](Index b) {
+        for (Index i = bb.block_lo(b); i < bb.block_hi(b); ++i) {
+          top.offer_guarded(all[i]);
+        }
+      },
+      st);
+  EXPECT_EQ(top.answer(), queries::top_k_of(2, all).answer());
+  EXPECT_EQ(st.blocks_scanned, 2u);  // the stale bound could not be skipped
+}
+
+TEST(PruneCountersGlobal, AccumulateAndReset) {
+  queries::reset_prune_counters();
+  PruneStats a;
+  a.blocks_total = 4;
+  a.blocks_skipped = 3;
+  a.blocks_scanned = 1;
+  a.pool_hits = 2;
+  queries::add_prune_counters(a);
+  queries::add_prune_counters(a);
+  const PruneStats snap = queries::prune_counters();
+  EXPECT_EQ(snap.blocks_total, 8u);
+  EXPECT_EQ(snap.blocks_skipped, 6u);
+  EXPECT_EQ(snap.pool_hits, 4u);
+  queries::reset_prune_counters();
+  EXPECT_EQ(queries::prune_counters(), PruneStats{});
+}
+
 }  // namespace

@@ -1,0 +1,276 @@
+// Removal-storm differential suite for the threshold-pruned top-k layer
+// (src/queries/top_k.hpp): every pruned engine — unsharded incremental,
+// sharded incremental, pipelined incremental — must stay byte-identical to
+// the *unpruned* batch oracle across seeds × shard counts × pipeline
+// depths, while its prune counters prove the pruning actually fired
+// (skipped blocks, pool-seeded candidates). The targeted cases pin the
+// sharp edges: a block bound that ties the threshold score exactly must be
+// scanned (timestamp can still win), demoted pool members must seed with
+// their *current* values, and staleness must eventually force an exact
+// bound rebuild.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/generator.hpp"
+#include "harness/registry.hpp"
+#include "harness/runner.hpp"
+#include "queries/engines.hpp"
+#include "queries/top_k.hpp"
+#include "shard/pipelined_engine.hpp"
+#include "shard/sharded_engines.hpp"
+
+namespace {
+
+using harness::Query;
+using harness::ToolSpec;
+
+/// The unpruned batch oracle plus every pruned engine at one configuration.
+std::vector<ToolSpec> oracle_and_pruned(int shards, int depth) {
+  std::vector<ToolSpec> tools = {harness::find_tool("grb-batch"),
+                                 harness::find_tool("grb-incremental")};
+  tools.push_back(harness::sharded_tools(shards)[1]);
+  tools.push_back(harness::pipelined_tools(shards, depth)[1]);
+  return tools;
+}
+
+datagen::Dataset removal_storm(unsigned scale, std::uint64_t seed) {
+  auto params = datagen::params_for_scale(scale, seed);
+  params.change_sets = 20;
+  params.insert_elements = 300;
+  params.frac_removals = 0.25;
+  return datagen::generate(params);
+}
+
+struct PrunedCase {
+  std::uint64_t seed;
+  int shards;
+  int depth;
+};
+
+class PrunedRemovals : public ::testing::TestWithParam<PrunedCase> {};
+
+TEST_P(PrunedRemovals, MatchesUnprunedOracleOnQ1AndQ2) {
+  const auto p = GetParam();
+  const auto ds = removal_storm(1, p.seed);
+  bool any_removal = false;
+  for (const auto& cs : ds.changes) any_removal |= sm::has_removals(cs);
+  ASSERT_TRUE(any_removal) << "stream has no removals; test is vacuous";
+  for (const Query q : {Query::kQ1, Query::kQ2}) {
+    EXPECT_NO_THROW(harness::verify_tools(oracle_and_pruned(p.shards, p.depth),
+                                          q, ds.initial, ds.changes))
+        << "seed=" << p.seed << " shards=" << p.shards << " depth=" << p.depth
+        << " query=" << harness::query_name(q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByShardsByDepths, PrunedRemovals,
+    ::testing::Values(
+        PrunedCase{2024, 1, 1}, PrunedCase{2024, 1, 4}, PrunedCase{2024, 2, 2},
+        PrunedCase{2024, 4, 1}, PrunedCase{2024, 4, 4}, PrunedCase{2024, 7, 2},
+        PrunedCase{2024, 7, 4}, PrunedCase{7, 1, 2}, PrunedCase{7, 2, 1},
+        PrunedCase{7, 2, 4}, PrunedCase{7, 4, 2}, PrunedCase{7, 7, 1}),
+    [](const ::testing::TestParamInfo<PrunedCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_shards" +
+             std::to_string(info.param.shards) + "_depth" +
+             std::to_string(info.param.depth);
+    });
+
+TEST(PrunedRemovals, RemovalHeavyAtScale2Matches) {
+  // One heavier point: the scale-2 stream spans multiple bound blocks even
+  // per shard, so skips, stale bounds and pool reseeds all occur together.
+  const auto ds = removal_storm(2, 2024);
+  for (const Query q : {Query::kQ1, Query::kQ2}) {
+    EXPECT_NO_THROW(harness::verify_tools(oracle_and_pruned(4, 4), q,
+                                          ds.initial, ds.changes))
+        << harness::query_name(q);
+  }
+}
+
+// --- Targeted fixtures ------------------------------------------------------
+
+/// 340 comments (two bound blocks at width 256). Block 0 holds 14 leaders
+/// (scores 30..17, timestamp 10); dense id 300 — block 1 — holds the trap:
+/// score 10 with the newest timestamp (99). Everything else scores 1.
+/// Likers are singletons (no friendships), so a comment's Q2 score is its
+/// liker count exactly.
+sm::SocialGraph tie_trap_graph() {
+  sm::SocialGraph g;
+  for (sm::NodeId u = 1000; u < 1040; ++u) g.add_user(u);
+  g.add_post(1, 0);
+  for (std::uint64_t i = 0; i < 340; ++i) {
+    const sm::NodeId c = 2000 + i;
+    std::uint64_t likers = 1;
+    sm::Timestamp ts = 1;
+    if (i < 14) {
+      likers = 30 - i;
+      ts = 10;
+    } else if (i == 300) {
+      likers = 10;
+      ts = 99;
+    }
+    g.add_comment(c, ts, false, 1);
+    for (sm::NodeId u = 1000; u < 1000 + likers; ++u) g.add_likes(u, c);
+  }
+  return g;
+}
+
+/// One change set demoting every leader to score exactly 10 — the kth
+/// entry's score after the re-rank ties block 1's bound precisely.
+sm::ChangeSet demote_leaders_to_ten() {
+  sm::ChangeSet cs;
+  for (std::uint64_t i = 0; i < 14; ++i) {
+    const sm::NodeId c = 2000 + i;
+    for (sm::NodeId u = 1000 + 10; u < 1000 + 30 - i; ++u) {
+      cs.ops.push_back(sm::RemoveLikes{u, c});
+    }
+  }
+  return cs;
+}
+
+TEST(PrunedRemovals, TieAtThresholdBlockIsScannedNotSkipped) {
+  // After the storm every leader scores 10 (timestamp 10) and so does
+  // comment 2300 (timestamp 99, sitting alone in block 1, never in the
+  // candidate pool). A skip test comparing scores alone would prune block 1
+  // and lose 2300; the tie-aware test must scan it, and 2300 must win the
+  // answer on recency. Also pins pool exactness: were pool members seeded
+  // with their stale pre-storm scores (30..19), the inflated threshold
+  // would skip block 1 too.
+  const auto g = tie_trap_graph();
+  const auto cs = demote_leaders_to_ten();
+
+  queries::GrbBatchEngine oracle(Query::kQ2);
+  oracle.load(g);
+  (void)oracle.initial();
+  const std::string expected = oracle.update(cs);
+  ASSERT_EQ(expected.rfind("2300|", 0), 0u)
+      << "fixture broken: the trap comment should lead, got " << expected;
+
+  for (const ToolSpec& tool : oracle_and_pruned(4, 2)) {
+    if (tool.key == "grb-batch") continue;
+    auto engine = harness::make_engine(tool, Query::kQ2);
+    engine->load(g);
+    (void)engine->initial();
+    EXPECT_EQ(engine->update(cs), expected) << tool.label;
+  }
+}
+
+/// 640 comments (three blocks): 20 leaders in block 0 (scores 30..11,
+/// timestamp 10), filler scores 1..3 elsewhere. The stream demotes one
+/// leader per epoch by three likes — 20 lowering events against block 0,
+/// enough to cross kStaleBudget and force an exact bound rebuild, while
+/// blocks 1 and 2 stay hopeless (bound ≤ 3) and must be skipped by every
+/// re-rank.
+sm::SocialGraph storm_graph() {
+  sm::SocialGraph g;
+  for (sm::NodeId u = 1000; u < 1040; ++u) g.add_user(u);
+  g.add_post(1, 0);
+  for (std::uint64_t i = 0; i < 640; ++i) {
+    const sm::NodeId c = 2000 + i;
+    const std::uint64_t likers = i < 20 ? 30 - i : 1 + (i % 3);
+    g.add_comment(c, static_cast<sm::Timestamp>(10 + (i % 5)), false, 1);
+    for (sm::NodeId u = 1000; u < 1000 + likers; ++u) g.add_likes(u, c);
+  }
+  return g;
+}
+
+std::vector<sm::ChangeSet> storm_changes() {
+  std::vector<sm::ChangeSet> changes;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    sm::ChangeSet cs;
+    for (sm::NodeId u = 1000; u < 1003; ++u) {
+      cs.ops.push_back(sm::RemoveLikes{u, 2000 + e});
+    }
+    changes.push_back(std::move(cs));
+  }
+  return changes;
+}
+
+TEST(PrunedRemovals, SerialEngineSkipsBlocksSeedsPoolAndRebuildsBounds) {
+  const auto g = storm_graph();
+  const auto changes = storm_changes();
+
+  queries::GrbBatchEngine oracle(Query::kQ2);
+  queries::GrbIncrementalEngine pruned(Query::kQ2);
+  oracle.load(g);
+  pruned.load(g);
+  EXPECT_EQ(pruned.initial(), oracle.initial());
+  for (const auto& cs : changes) {
+    ASSERT_EQ(pruned.update(cs), oracle.update(cs));
+  }
+  const queries::PruneStats& st = pruned.prune_stats();
+  EXPECT_EQ(st.blocks_scanned + st.blocks_skipped, st.blocks_total);
+  // Blocks 1 and 2 (bounds <= 3) can never beat the ~27 threshold.
+  EXPECT_GT(st.blocks_skipped, 0u);
+  // Every re-rank seeds its top-k from the pool before touching a block.
+  EXPECT_GT(st.pool_hits, 0u);
+  EXPECT_GE(st.pool_rebuilds, 1u);  // the initial full-scan build
+  // 20 lowering epochs against block 0 cross the staleness budget (16).
+  EXPECT_GE(st.bound_rebuilds, 1u);
+}
+
+TEST(PrunedRemovals, ShardedAndPipelinedCountersStayCoherent) {
+  const auto g = storm_graph();
+  const auto changes = storm_changes();
+
+  queries::GrbBatchEngine oracle(Query::kQ2);
+  oracle.load(g);
+  std::vector<std::string> expected = {oracle.initial()};
+  for (const auto& cs : changes) expected.push_back(oracle.update(cs));
+
+  // At one shard the comment space is the serial engine's, so the skip
+  // guarantee carries over verbatim; at four shards the leaders hash across
+  // shards and we assert the counter invariants rather than a specific skip
+  // count.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    shard::GrbShardedIncrementalEngine eng(Query::kQ2, shards);
+    eng.load(g);
+    EXPECT_EQ(eng.initial(), expected[0]);
+    for (std::size_t e = 0; e < changes.size(); ++e) {
+      ASSERT_EQ(eng.update(changes[e]), expected[e + 1]) << "shards=" << shards;
+    }
+    const queries::PruneStats& st = eng.prune_stats();
+    EXPECT_EQ(st.blocks_scanned + st.blocks_skipped, st.blocks_total);
+    EXPECT_GT(st.blocks_total, 0u);
+    EXPECT_GT(st.pool_hits, 0u);
+    if (shards == 1) {
+      EXPECT_GT(st.blocks_skipped, 0u);
+    }
+  }
+
+  shard::GrbPipelinedEngine pipe(Query::kQ2,
+                                 shard::GrbPipelinedEngine::Mode::kIncremental,
+                                 /*num_shards=*/1, /*depth=*/2);
+  pipe.load(g);
+  EXPECT_EQ(pipe.initial(), expected[0]);
+  const auto answers = pipe.update_stream(changes);
+  ASSERT_EQ(answers.size(), changes.size());
+  for (std::size_t e = 0; e < answers.size(); ++e) {
+    ASSERT_EQ(answers[e], expected[e + 1]);
+  }
+  const queries::PruneStats& st = pipe.prune_stats();
+  EXPECT_EQ(st.blocks_scanned + st.blocks_skipped, st.blocks_total);
+  EXPECT_GT(st.blocks_skipped, 0u);
+  EXPECT_GT(st.pool_hits, 0u);
+}
+
+TEST(PrunedRemovals, GlobalCountersMirrorTheOnlyRunningEngine) {
+  // The WorkspaceStats-style global accumulators feed the daemon and the
+  // benches; with exactly one pruned engine running between reset and
+  // snapshot they must equal that engine's cumulative stats (the batch
+  // oracle contributes nothing).
+  const auto g = storm_graph();
+  const auto changes = storm_changes();
+  queries::reset_prune_counters();
+  queries::GrbIncrementalEngine eng(Query::kQ2);
+  eng.load(g);
+  (void)eng.initial();
+  for (const auto& cs : changes) (void)eng.update(cs);
+  EXPECT_EQ(queries::prune_counters(), eng.prune_stats());
+  queries::reset_prune_counters();
+  EXPECT_EQ(queries::prune_counters(), queries::PruneStats{});
+}
+
+}  // namespace

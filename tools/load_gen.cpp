@@ -314,6 +314,31 @@ int main(int argc, char** argv) {
 
   for (std::thread& t : reader_threads) t.join();
 
+  // Pruning activity under the concurrent load: the daemon's kStats frame
+  // carries the writer-side top-k prune counters (see daemon/protocol.hpp).
+  struct PruneReport {
+    std::uint64_t blocks_total = 0, blocks_scanned = 0, blocks_skipped = 0;
+    std::uint64_t pool_hits = 0, pool_rebuilds = 0, bound_rebuilds = 0;
+    bool ok = false;
+  } prune;
+  try {
+    const Frame resp = call(wfd, MsgType::kStats, {});
+    if (resp.type == MsgType::kStatsOk) {
+      PayloadReader in(resp.payload);
+      for (int skip = 0; skip < 5; ++skip) (void)in.u64();
+      prune.blocks_total = in.u64();
+      prune.blocks_scanned = in.u64();
+      prune.blocks_skipped = in.u64();
+      prune.pool_hits = in.u64();
+      prune.pool_rebuilds = in.u64();
+      prune.bound_rebuilds = in.u64();
+      in.expect_done();
+      prune.ok = true;
+    }
+  } catch (const grbd::ProtocolError&) {
+    // Stats are informational; an unreachable daemon already failed above.
+  }
+
   if (shutdown) {
     try {
       (void)call(wfd, MsgType::kShutdown, {});
@@ -359,18 +384,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "load_gen: %llu answer mismatches vs the oracle\n",
                  static_cast<unsigned long long>(mismatches));
   }
+  if (prune.ok) {
+    std::fprintf(stderr,
+                 "load_gen: pruning: %llu/%llu blocks skipped, %llu pool "
+                 "hits, %llu pool rebuilds, %llu bound rebuilds\n",
+                 static_cast<unsigned long long>(prune.blocks_skipped),
+                 static_cast<unsigned long long>(prune.blocks_total),
+                 static_cast<unsigned long long>(prune.pool_hits),
+                 static_cast<unsigned long long>(prune.pool_rebuilds),
+                 static_cast<unsigned long long>(prune.bound_rebuilds));
+  }
   if (json) {
     std::printf(
         "{\"sf\": %u, \"change_sets\": %zu, \"cs_per_s\": %.3f, "
         "\"reads\": %llu, \"readers\": %zu, \"p50_ms\": %.3f, "
         "\"p99_ms\": %.3f, \"evicted\": %llu, \"not_ready\": %llu, "
-        "\"verified\": %s, \"mismatches\": %llu}\n",
+        "\"verified\": %s, \"mismatches\": %llu, "
+        "\"prune\": {\"blocks_total\": %llu, \"blocks_scanned\": %llu, "
+        "\"blocks_skipped\": %llu, \"pool_hits\": %llu, "
+        "\"pool_rebuilds\": %llu, \"bound_rebuilds\": %llu}}\n",
         sf, ds.changes.size(), cs_per_s,
         static_cast<unsigned long long>(total_reads), readers, p50, p99,
         static_cast<unsigned long long>(evicted),
         static_cast<unsigned long long>(not_ready),
         verify ? "true" : "false",
-        static_cast<unsigned long long>(mismatches));
+        static_cast<unsigned long long>(mismatches),
+        static_cast<unsigned long long>(prune.blocks_total),
+        static_cast<unsigned long long>(prune.blocks_scanned),
+        static_cast<unsigned long long>(prune.blocks_skipped),
+        static_cast<unsigned long long>(prune.pool_hits),
+        static_cast<unsigned long long>(prune.pool_rebuilds),
+        static_cast<unsigned long long>(prune.bound_rebuilds));
   }
 
   bool ok = !write_failed && mismatches == 0;
