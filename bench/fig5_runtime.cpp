@@ -46,8 +46,18 @@
 //                              tool/query/scale, plus throughput_cs_per_s
 //                              entries with --pipeline, plus — with
 //                              --smoke — the gate verdicts, the arena
-//                              counters, and per-shard arena_hit_rate
-//                              fields)
+//                              counters, per-shard arena_hit_rate fields,
+//                              and a telemetry block: the epoch.*_us phase
+//                              histograms the in-process trace spans fed)
+//   --trace=PATH              (arm epoch tracing for the whole run and
+//                              write a Chrome trace_event JSON at exit)
+//
+// With --smoke and --pipeline the run also gates telemetry overhead: the
+// pipelined update loop is timed with spans fully off (TelemetryMode::kOff)
+// and at the shipping default (kMetricsOnly); the instrumented loop must
+// stay within 1.5x of the baseline (min of 3 runs each, plus absolute
+// slack), so a span creeping onto a hot path fails CI instead of silently
+// taxing ingestion.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -62,8 +72,13 @@
 #include "harness/runner.hpp"
 #include "queries/top_k.hpp"
 #include "support/flags.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
+#include "support/timer.hpp"
 
 namespace {
+
+namespace telemetry = grbsm::telemetry;
 
 struct Cell {
   double initial = -1.0;
@@ -96,6 +111,11 @@ struct SmokeResult {
   bool prune_counters_ok = false;  ///< scanned + skipped == total, pool hits
   bool prune_skip_ok = false;      ///< skip fraction above the floor
   queries::PruneStats prune;       ///< counters over the removal stream
+  // --- telemetry overhead gate (only with --pipeline=DEPTH) -----------------
+  bool telemetry_ran = false;
+  bool telemetry_overhead_ok = false;
+  double telemetry_off_s = -1.0;  ///< update loop, spans compiled to a load
+  double telemetry_on_s = -1.0;   ///< update loop, kMetricsOnly (the default)
 
   [[nodiscard]] bool ok() const {
     return trend_ok && arena_ok &&
@@ -103,7 +123,8 @@ struct SmokeResult {
            (!pipeline_ran ||
             (pipeline_answers_ok && pipeline_throughput_ok)) &&
            (!prune_ran ||
-            (prune_answers_ok && prune_counters_ok && prune_skip_ok));
+            (prune_answers_ok && prune_counters_ok && prune_skip_ok)) &&
+           (!telemetry_ran || telemetry_overhead_ok);
   }
 };
 
@@ -253,7 +274,34 @@ void write_json(
           static_cast<unsigned long long>(smoke.prune.pool_rebuilds),
           static_cast<unsigned long long>(smoke.prune.bound_rebuilds));
     }
+    if (smoke.telemetry_ran) {
+      std::fprintf(f,
+                   ",\n    \"telemetry\": {\"overhead_ok\": %s, "
+                   "\"off_s\": %.6g, \"on_s\": %.6g}",
+                   smoke.telemetry_overhead_ok ? "true" : "false",
+                   smoke.telemetry_off_s, smoke.telemetry_on_s);
+    }
     std::fprintf(f, "\n  }");
+  }
+  // Per-phase breakdown from the in-process registry: every epoch.*_us
+  // histogram the run's trace spans fed (kMetricsOnly keeps them recording
+  // even without --trace). Units are microseconds per span.
+  {
+    const telemetry::RegistrySnapshot reg =
+        telemetry::Registry::instance().snapshot();
+    bool first = true;
+    for (const auto& [name, mv] : reg.entries) {
+      if (mv.kind != telemetry::MetricKind::kHistogram) continue;
+      if (name.rfind("epoch.", 0) != 0 || mv.hist.count() == 0) continue;
+      std::fprintf(f, "%s\n    \"%s\": {\"n\": %llu, \"p50\": %.1f, "
+                      "\"p99\": %.1f, \"mean\": %.1f, \"max\": %llu}",
+                   first ? ",\n  \"telemetry_phases\": {" : ",", name.c_str(),
+                   static_cast<unsigned long long>(mv.hist.count()),
+                   mv.hist.p50(), mv.hist.p99(), mv.hist.mean(),
+                   static_cast<unsigned long long>(mv.hist.max));
+      first = false;
+    }
+    if (!first) std::fprintf(f, "\n  }");
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);
@@ -283,6 +331,10 @@ int main(int argc, char** argv) {
   const auto throughput_sf =
       static_cast<unsigned>(flags.get_int("throughput-sf", 0));
   const std::string json_path = flags.get("json", "");
+  const std::string trace_path = flags.get("trace", "");
+  if (!trace_path.empty()) {
+    telemetry::set_mode(telemetry::TelemetryMode::kTracing);
+  }
   std::vector<harness::ToolSpec> tools = harness::fig5_tools();
   if (flags.get_bool("extension", false)) {
     tools.push_back(harness::find_tool("grb-incremental-cc"));
@@ -671,6 +723,50 @@ int main(int argc, char** argv) {
           tr.serial.cs_per_s);
     }
 
+    // --- telemetry overhead gate ---------------------------------------------
+    // The trace spans sit on the ingestion path (route/apply/merge): time
+    // the pipelined update loop with spans fully off (kOff, one relaxed
+    // load each) and at the shipping default (kMetricsOnly, two clock
+    // reads + a histogram record per span). Min of 3 runs a side steps
+    // around CI noise; the instrumented loop must stay within 1.5x of the
+    // baseline plus 50 ms of absolute slack (sub-second loops would
+    // otherwise gate on scheduler jitter, not on span cost).
+    if (pipeline > 0) {
+      sr.telemetry_ran = true;
+      harness::ToolSpec pipe_inc;
+      for (const auto& t : harness::pipelined_tools(pshards, pipeline)) {
+        if (t.key == "grb-pipelined-incremental") pipe_inc = t;
+      }
+      const auto timed_update_loop = [&] {
+        grb::ThreadGuard guard(pipe_inc.threads);
+        auto engine = harness::make_engine(pipe_inc, harness::Query::kQ2);
+        engine->load(ds.initial);
+        engine->initial();
+        const grbsm::support::Timer t;
+        for (const auto& cs : ds.changes) engine->update(cs);
+        return t.elapsed_s();
+      };
+      const telemetry::TelemetryMode prior = telemetry::mode();
+      const auto min_of_3 = [&](telemetry::TelemetryMode m) {
+        telemetry::set_mode(m);
+        double best = timed_update_loop();
+        for (int r = 1; r < 3; ++r) {
+          best = std::min(best, timed_update_loop());
+        }
+        return best;
+      };
+      sr.telemetry_off_s = min_of_3(telemetry::TelemetryMode::kOff);
+      sr.telemetry_on_s = min_of_3(telemetry::TelemetryMode::kMetricsOnly);
+      telemetry::set_mode(prior);
+      sr.telemetry_overhead_ok =
+          sr.telemetry_on_s <= 1.5 * sr.telemetry_off_s + 0.05;
+      std::printf(
+          "[%s] smoke telemetry overhead: update loop %.4gs instrumented "
+          "vs %.4gs off (budget 1.5x + 50 ms)\n",
+          sr.telemetry_overhead_ok ? "PASS" : "FAIL", sr.telemetry_on_s,
+          sr.telemetry_off_s);
+    }
+
     // --- top-k pruning gates -------------------------------------------------
     // A removal-heavy stream forces the re-rank path on every removal
     // epoch; the pruned extraction must (1) stay byte-identical to the
@@ -747,6 +843,18 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     write_json(json_path, seed, repeats, shards, scales, tools, queries, res,
                sr, tr);
+  }
+  // Every engine is destroyed (run_repeated and the smoke loops are all
+  // scoped) and their worker threads joined, so the span rings are
+  // quiescent for the export.
+  if (!trace_path.empty()) {
+    if (telemetry::Tracer::instance().export_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "fig5: trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "fig5: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
   }
   return !smoke || sr.ok() ? 0 : 1;
 }

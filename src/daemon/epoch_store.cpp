@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/telemetry/trace.hpp"
+
 namespace grbd {
 
 EpochStore::EpochStore(std::size_t retain) : retain_(retain) {
@@ -13,6 +15,7 @@ EpochStore::EpochStore(std::size_t retain) : retain_(retain) {
 }
 
 void EpochStore::publish(Snapshot snap) {
+  GRB_TRACE_SPAN("publish", snap.epoch);
   const TablePtr old = root_.load(std::memory_order_acquire);
   if (!old->window.empty() &&
       snap.epoch != old->window.back()->epoch + 1) {

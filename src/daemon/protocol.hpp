@@ -68,11 +68,17 @@ enum class MsgType : std::uint8_t {
   kQuery = 0x03,
   kStats = 0x04,
   kShutdown = 0x05,
+  /// Empty request; answers kMetricsOk carrying one serialized telemetry
+  /// registry snapshot (support/telemetry/metrics.hpp wire codec,
+  /// schema-versioned). A superset of the kStats fields — kStats stays for
+  /// compatibility with fixed-layout clients.
+  kMetrics = 0x06,
   kHelloOk = 0x81,
   kApplied = 0x82,
   kAnswer = 0x83,
   kStatsOk = 0x84,
   kOk = 0x85,
+  kMetricsOk = 0x86,
   kError = 0xff,
 };
 

@@ -13,10 +13,27 @@
 
 #include "harness/engine.hpp"
 #include "queries/top_k.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace grbd {
 
 using shard::GrbPipelinedEngine;
+
+namespace telemetry = grbsm::telemetry;
+
+namespace {
+
+void append_value(
+    std::vector<std::pair<std::string, telemetry::MetricValue>>& out,
+    std::string name, telemetry::MetricKind kind, std::uint64_t v) {
+  telemetry::MetricValue m;
+  m.kind = kind;
+  m.value = v;
+  out.emplace_back(std::move(name), m);
+}
+
+}  // namespace
 
 Server::Server(ServerConfig cfg)
     : cfg_(cfg),
@@ -26,9 +43,33 @@ Server::Server(ServerConfig cfg)
       q2_(std::make_unique<GrbPipelinedEngine>(
           harness::Query::kQ2, GrbPipelinedEngine::Mode::kIncremental,
           cfg.shards, cfg.depth)),
-      store_(cfg.retain) {}
+      store_(cfg.retain) {
+  // Surface the service-level numbers in every registry snapshot (and thus
+  // every kMetrics frame) under "daemon.*" — the provider reads the same
+  // thread-safe accessors stats() uses.
+  telemetry_provider_ = telemetry::Registry::instance().add_provider(
+      [this](std::vector<std::pair<std::string, telemetry::MetricValue>>&
+                 out) {
+        std::uint64_t latest = 0;
+        (void)store_.latest_epoch(latest);
+        const std::uint64_t assigned = last_assigned();
+        append_value(out, "daemon.latest_epoch",
+                     telemetry::MetricKind::kGauge, latest);
+        append_value(out, "daemon.applied", telemetry::MetricKind::kCounter,
+                     applied_.load(std::memory_order_relaxed));
+        append_value(out, "daemon.queries", telemetry::MetricKind::kCounter,
+                     queries_.load(std::memory_order_relaxed));
+        append_value(out, "daemon.retained", telemetry::MetricKind::kGauge,
+                     store_.size());
+        append_value(out, "daemon.in_flight", telemetry::MetricKind::kGauge,
+                     assigned > latest ? assigned - latest : 0);
+      });
+}
 
 Server::~Server() {
+  // Deregister first: remove_provider blocks until any in-flight snapshot
+  // finished calling the lambda, which reads members destroyed below.
+  telemetry::Registry::instance().remove_provider(telemetry_provider_);
   request_shutdown();
   if (writer_.joinable()) writer_.join();
   join_all_connections();
@@ -191,6 +232,11 @@ Server::Stats Server::stats() const {
   s.retained = store_.size();
   const std::uint64_t assigned = last_assigned();
   s.in_flight = assigned > s.latest_epoch ? assigned - s.latest_epoch : 0;
+  // One coherent registry snapshot for the whole prune family: the writer
+  // thread folds its per-epoch deltas as a registry batch, and the seqlock
+  // inside snapshot() waits any half-applied batch out — so a kStats frame
+  // can never carry scanned + skipped != total, no matter how the poll
+  // races the write stream.
   const queries::PruneStats p = queries::prune_counters();
   s.prune_blocks_total = p.blocks_total;
   s.prune_blocks_scanned = p.blocks_scanned;
@@ -237,6 +283,12 @@ bool Server::handle_frame(const Frame& f, int out_fd) {
         throw ProtocolError("unknown query selector " +
                             std::to_string(which));
       }
+      // Reader-side span: covers pin + serve, re-labelled with the pinned
+      // epoch once known (error paths close it at epoch 0, which the trace
+      // checker exempts).
+      static telemetry::Histogram& answer_hist =
+          telemetry::Registry::instance().histogram("epoch.answer_us");
+      telemetry::SpanScope answer_span("answer", 0, &answer_hist);
       SnapshotPtr snap;  // the pin: one atomic<shared_ptr> load (lock-light,
                          // see epoch_store.hpp); never waits out a merge
       if (pin == kLatestEpoch) {
@@ -252,6 +304,7 @@ bool Server::handle_frame(const Frame& f, int out_fd) {
                                        : " was not published in time"));
         }
       }
+      answer_span.set_epoch(snap->epoch);
       queries_.fetch_add(1, std::memory_order_relaxed);
       PayloadWriter out;
       out.u64(snap->epoch);
@@ -275,6 +328,17 @@ bool Server::handle_frame(const Frame& f, int out_fd) {
       out.u64(s.prune_pool_rebuilds);
       out.u64(s.prune_bound_rebuilds);
       return write_frame(out_fd, MsgType::kStatsOk, out.data());
+    }
+    case MsgType::kMetrics: {
+      PayloadReader in(f.payload);
+      in.expect_done();
+      // One coherent snapshot per response (same guarantee as kStats), with
+      // every registered name: prune.*, arena.*, daemon.*, epoch.*_us.
+      const std::vector<std::uint8_t> blob =
+          telemetry::serialize(telemetry::Registry::instance().snapshot());
+      PayloadWriter out;
+      out.bytes(blob.data(), blob.size());
+      return write_frame(out_fd, MsgType::kMetricsOk, out.data());
     }
     case MsgType::kShutdown: {
       // Refuse new writes *before* acking: a client that received kOk must

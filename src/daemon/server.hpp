@@ -106,8 +106,10 @@ class Server {
     std::uint64_t retained = 0;   ///< snapshots currently in the window
     std::uint64_t in_flight = 0;  ///< enqueued but not yet published
     /// Process-global top-k pruning counters (queries::prune_counters):
-    /// written by the writer thread's engines, snapshotted here from
-    /// relaxed atomics — connection threads never touch engine state.
+    /// written by the writer thread's engines as telemetry-registry batches
+    /// and read back as one coherent registry snapshot, so the family's
+    /// invariant (scanned + skipped == total) holds on every response —
+    /// connection threads never touch engine state.
     std::uint64_t prune_blocks_total = 0;
     std::uint64_t prune_blocks_scanned = 0;
     std::uint64_t prune_blocks_skipped = 0;
@@ -163,6 +165,10 @@ class Server {
   std::uint64_t next_conn_id_ = 0;
   std::vector<int> live_fds_;
   int listen_fd_ = -1;
+
+  /// Telemetry provider id for the "daemon.*" snapshot entries (registered
+  /// in the constructor, removed first thing in the destructor).
+  std::uint64_t telemetry_provider_ = 0;
 
   std::thread writer_;
 };

@@ -5,6 +5,11 @@
 #endif
 
 #include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/telemetry/metrics.hpp"
 
 namespace grb {
 
@@ -41,8 +46,65 @@ ThreadGuard::~ThreadGuard() {
   g_threads.store(saved_, std::memory_order_relaxed);
 }
 
+namespace {
+
+namespace telemetry = grbsm::telemetry;
+
+using MetricEntries =
+    std::vector<std::pair<std::string, telemetry::MetricValue>>;
+
+void append_counter(MetricEntries& out, std::string name, std::uint64_t v) {
+  telemetry::MetricValue m;
+  m.kind = telemetry::MetricKind::kCounter;
+  m.value = v;
+  out.emplace_back(std::move(name), m);
+}
+
+void append_gauge(MetricEntries& out, std::string name, std::uint64_t v) {
+  telemetry::MetricValue m;
+  m.kind = telemetry::MetricKind::kGauge;
+  m.value = v;
+  out.emplace_back(std::move(name), m);
+}
+
+/// Telemetry provider: surfaces the arena's counters (and every active
+/// per-shard stats domain) under "arena.*" dotted names in each registry
+/// snapshot. The arena keeps its own mutex-sharded storage — the hot lease
+/// path is untouched; the provider just reads the same accessors the
+/// workspace_stats() trio exposes.
+void arena_provider(MetricEntries& out) {
+  const WorkspaceStats s = Context::instance().workspace_stats();
+  append_counter(out, "arena.hits", s.hits);
+  append_counter(out, "arena.steals", s.steals);
+  append_counter(out, "arena.misses", s.misses);
+  append_counter(out, "arena.bytes_leased", s.bytes_leased);
+  append_counter(out, "arena.donations", s.donations);
+  append_counter(out, "arena.drops", s.drops);
+  append_counter(out, "arena.splits", s.splits);
+  append_counter(out, "arena.shrinks", s.shrinks);
+  append_gauge(out, "arena.buffers_cached", s.buffers_cached);
+  append_gauge(out, "arena.bytes_cached", s.bytes_cached);
+  const detail::Workspace& ws = Context::instance().workspace();
+  for (std::size_t d = 0; d < detail::Workspace::kMaxDomains; ++d) {
+    const WorkspaceStats ds = ws.domain_stats(d);
+    if (ds.leases() == 0) continue;  // idle domains stay out of the wire
+    const std::string prefix = "arena.shard" + std::to_string(d) + ".";
+    append_counter(out, prefix + "hits", ds.hits);
+    append_counter(out, prefix + "steals", ds.steals);
+    append_counter(out, prefix + "misses", ds.misses);
+    append_counter(out, prefix + "bytes_leased", ds.bytes_leased);
+  }
+}
+
+}  // namespace
+
 Context& Context::instance() noexcept {
   static Context ctx;
+  // Registered once, after ctx exists (the provider dereferences it); the
+  // registration itself is what puts "arena.*" into every snapshot.
+  static const std::uint64_t provider_id =
+      telemetry::Registry::instance().add_provider(arena_provider);
+  (void)provider_id;
   return ctx;
 }
 

@@ -1,9 +1,12 @@
 #include "queries/top_k.hpp"
 
 #include <algorithm>
-#include <atomic>
+
+#include "support/telemetry/metrics.hpp"
 
 namespace queries {
+
+namespace telemetry = grbsm::telemetry;
 
 bool ranks_before(const Ranked& a, const Ranked& b) noexcept {
   if (a.score != b.score) return a.score > b.score;
@@ -99,55 +102,72 @@ void CandidatePool::seed(TopK& top, PruneStats& stats) const {
 }
 
 // --- Process-global prune counters -------------------------------------------
+//
+// The accessors keep their PR-9 signatures, but the storage is the telemetry
+// registry: the six counters live under stable "prune.*" dotted names (so
+// the daemon's kMetrics frame and the bench JSONs see them for free), and
+// every multi-counter update runs as a registry batch — a snapshot can never
+// observe scanned + skipped != total, which the daemon asserts on the wire.
 
 namespace {
 
-struct AtomicPruneCounters {
-  std::atomic<std::uint64_t> blocks_total{0};
-  std::atomic<std::uint64_t> blocks_scanned{0};
-  std::atomic<std::uint64_t> blocks_skipped{0};
-  std::atomic<std::uint64_t> pool_hits{0};
-  std::atomic<std::uint64_t> pool_rebuilds{0};
-  std::atomic<std::uint64_t> bound_rebuilds{0};
-};
+struct PruneMetrics {
+  telemetry::Counter& blocks_total;
+  telemetry::Counter& blocks_scanned;
+  telemetry::Counter& blocks_skipped;
+  telemetry::Counter& pool_hits;
+  telemetry::Counter& pool_rebuilds;
+  telemetry::Counter& bound_rebuilds;
 
-AtomicPruneCounters& counters() {
-  static AtomicPruneCounters c;
-  return c;
-}
+  static PruneMetrics& get() {
+    static PruneMetrics m{
+        telemetry::Registry::instance().counter("prune.blocks_total"),
+        telemetry::Registry::instance().counter("prune.blocks_scanned"),
+        telemetry::Registry::instance().counter("prune.blocks_skipped"),
+        telemetry::Registry::instance().counter("prune.pool_hits"),
+        telemetry::Registry::instance().counter("prune.pool_rebuilds"),
+        telemetry::Registry::instance().counter("prune.bound_rebuilds")};
+    return m;
+  }
+};
 
 }  // namespace
 
 PruneStats prune_counters() noexcept {
-  AtomicPruneCounters& c = counters();
+  // One coherent registry snapshot: the seqlock spins out any in-flight
+  // add/reset batch, so the six values always satisfy their invariant.
+  const telemetry::RegistrySnapshot snap =
+      telemetry::Registry::instance().snapshot();
   PruneStats s;
-  s.blocks_total = c.blocks_total.load(std::memory_order_relaxed);
-  s.blocks_scanned = c.blocks_scanned.load(std::memory_order_relaxed);
-  s.blocks_skipped = c.blocks_skipped.load(std::memory_order_relaxed);
-  s.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
-  s.pool_rebuilds = c.pool_rebuilds.load(std::memory_order_relaxed);
-  s.bound_rebuilds = c.bound_rebuilds.load(std::memory_order_relaxed);
+  s.blocks_total = snap.value_or("prune.blocks_total", 0);
+  s.blocks_scanned = snap.value_or("prune.blocks_scanned", 0);
+  s.blocks_skipped = snap.value_or("prune.blocks_skipped", 0);
+  s.pool_hits = snap.value_or("prune.pool_hits", 0);
+  s.pool_rebuilds = snap.value_or("prune.pool_rebuilds", 0);
+  s.bound_rebuilds = snap.value_or("prune.bound_rebuilds", 0);
   return s;
 }
 
 void add_prune_counters(const PruneStats& delta) noexcept {
-  AtomicPruneCounters& c = counters();
-  c.blocks_total.fetch_add(delta.blocks_total, std::memory_order_relaxed);
-  c.blocks_scanned.fetch_add(delta.blocks_scanned, std::memory_order_relaxed);
-  c.blocks_skipped.fetch_add(delta.blocks_skipped, std::memory_order_relaxed);
-  c.pool_hits.fetch_add(delta.pool_hits, std::memory_order_relaxed);
-  c.pool_rebuilds.fetch_add(delta.pool_rebuilds, std::memory_order_relaxed);
-  c.bound_rebuilds.fetch_add(delta.bound_rebuilds, std::memory_order_relaxed);
+  PruneMetrics& m = PruneMetrics::get();
+  const telemetry::Registry::BatchScope batch;
+  m.blocks_total.add(delta.blocks_total);
+  m.blocks_scanned.add(delta.blocks_scanned);
+  m.blocks_skipped.add(delta.blocks_skipped);
+  m.pool_hits.add(delta.pool_hits);
+  m.pool_rebuilds.add(delta.pool_rebuilds);
+  m.bound_rebuilds.add(delta.bound_rebuilds);
 }
 
 void reset_prune_counters() noexcept {
-  AtomicPruneCounters& c = counters();
-  c.blocks_total.store(0, std::memory_order_relaxed);
-  c.blocks_scanned.store(0, std::memory_order_relaxed);
-  c.blocks_skipped.store(0, std::memory_order_relaxed);
-  c.pool_hits.store(0, std::memory_order_relaxed);
-  c.pool_rebuilds.store(0, std::memory_order_relaxed);
-  c.bound_rebuilds.store(0, std::memory_order_relaxed);
+  PruneMetrics& m = PruneMetrics::get();
+  const telemetry::Registry::BatchScope batch;
+  m.blocks_total.reset();
+  m.blocks_scanned.reset();
+  m.blocks_skipped.reset();
+  m.pool_hits.reset();
+  m.pool_rebuilds.reset();
+  m.bound_rebuilds.reset();
 }
 
 }  // namespace queries

@@ -5,6 +5,7 @@
 
 #include "queries/q1.hpp"
 #include "queries/q2.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace shard {
 
@@ -224,6 +225,10 @@ std::uint64_t GrbPipelinedEngine::submit(const sm::ChangeSet& cs) {
         std::to_string(depth_) + ") — merge_one() the oldest epoch first");
   }
   ensure_pipeline();
+  // Route + hand-off to the shard workers; epoch ids in traces are 1-based
+  // (snapshot numbering), so this correlates with the apply/merge/publish
+  // spans of the same change set.
+  GRB_TRACE_SPAN("route", submitted_ + 1);
   const std::uint64_t e = state_.apply_async(cs);
   (void)e;  // == submitted_: epochs are dense from begin_pipeline
   return submitted_++;
@@ -241,6 +246,9 @@ GrbPipelinedEngine::Merged GrbPipelinedEngine::merge_one() {
 
 std::string GrbPipelinedEngine::merge_next() {
   const std::uint64_t e = merged_;
+  // Publisher-side merge (includes the publication-barrier wait below — the
+  // span measures time-to-merged as the writer thread experiences it).
+  GRB_TRACE_SPAN("merge", e + 1);
   state_.wait_epoch(e);  // publication barrier: every shard retired e
   EpochSlot& slot = ring_[e % depth_];
   const std::size_t n = state_.num_shards();

@@ -1,12 +1,16 @@
 #include "shard/sharded_state.hpp"
 
 #include <string>
+#include <vector>
 
 #include "grb/detail/check.hpp"
 #include "grb/detail/parallel.hpp"
 #include "grb/detail/workspace.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace shard {
+
+namespace telemetry = grbsm::telemetry;
 
 void ShardedGrbState::for_each_shard(
     const std::function<void(std::size_t)>& f) {
@@ -75,14 +79,30 @@ void ShardedGrbState::begin_pipeline(std::size_t depth, ShardStage stage) {
   }
   stage_ = std::move(stage);
   ring_.assign(depth, RoutedChangeSet{});
+  // Per-shard reevaluate timings under stable dotted names, resolved once
+  // here so the worker records through cached references (the registry
+  // mutex never sits on the apply path). "apply" trace spans carry the
+  // published 1-based epoch id (engine epoch e publishes snapshot e + 1).
+  telemetry::Histogram* apply_all =
+      &telemetry::Registry::instance().histogram("epoch.apply_us");
+  std::vector<telemetry::Histogram*> apply_per_shard;
+  apply_per_shard.reserve(num_shards());
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    apply_per_shard.push_back(&telemetry::Registry::instance().histogram(
+        "epoch.shard" + std::to_string(s) + ".apply_us"));
+  }
   pipeline_ = std::make_unique<grb::detail::EpochPipeline>(
-      num_shards(), depth, [this](std::size_t s, std::uint64_t e) {
+      num_shards(), depth,
+      [this, apply_all, apply_per_shard = std::move(apply_per_shard)](
+          std::size_t s, std::uint64_t e) {
         // Worker thread for shard s, epoch e: apply this shard's piece of
         // the routed set, then hand the delta to the stage — all with the
         // shard's arena stats domain active so leases stay attributed.
         // GrbState::apply_change_set's own reentrancy guard still watches
         // the per-shard apply order.
         grb::detail::ScopedStatsDomain domain(static_cast<int>(s));
+        telemetry::SpanScope span("apply", e + 1, apply_per_shard[s],
+                                  apply_all);
         const RoutedChangeSet& routed = ring_[e % ring_.size()];
         queries::GrbDelta delta = states_[s].apply_change_set(routed.parts[s]);
         if (stage_) stage_(s, e, std::move(delta));

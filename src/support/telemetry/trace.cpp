@@ -1,0 +1,230 @@
+#include "support/telemetry/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace grbsm::telemetry {
+
+namespace {
+
+std::atomic<int> g_mode{static_cast<int>(TelemetryMode::kMetricsOnly)};
+
+constexpr std::size_t kDefaultRingEvents = std::size_t{1} << 16;
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void set_mode(TelemetryMode m) noexcept {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+TelemetryMode mode() noexcept {
+  return static_cast<TelemetryMode>(g_mode.load(std::memory_order_relaxed));
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+/// One thread's event ring. Only the owning thread writes slots and head;
+/// readers (collect/export, at quiescence) acquire head and walk the last
+/// min(head, capacity) events in push order.
+struct Tracer::Buffer {
+  struct Event {
+    const char* name;      ///< static-duration literal from the span site
+    std::uint64_t epoch;
+    std::uint64_t ts_ns;
+    bool begin;
+  };
+
+  Buffer(std::size_t cap, std::uint32_t tid_)
+      : slots(cap == 0 ? 1 : cap), tid(tid_) {}
+
+  void push(const char* name, std::uint64_t epoch, bool begin,
+            std::uint64_t ts_ns) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    slots[static_cast<std::size_t>(h % slots.size())] =
+        Event{name, epoch, ts_ns, begin};
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  std::vector<Event> slots;
+  std::atomic<std::uint64_t> head{0};  ///< total events ever pushed
+  std::uint32_t tid;
+};
+
+Tracer::Tracer()
+    : base_ns_(steady_now_ns()), ring_capacity_(kDefaultRingEvents) {}
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  return steady_now_ns() - base_ns_;
+}
+
+void Tracer::set_ring_capacity(std::size_t events) noexcept {
+  ring_capacity_.store(events == 0 ? 1 : events, std::memory_order_relaxed);
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  thread_local std::shared_ptr<Buffer> buf = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto b = std::make_shared<Buffer>(
+        ring_capacity_.load(std::memory_order_relaxed), next_tid_++);
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void Tracer::record(const char* name, std::uint64_t epoch, bool begin,
+                    std::uint64_t ts_ns) {
+  local_buffer().push(name, epoch, begin, ts_ns);
+}
+
+std::vector<CompletedSpan> Tracer::collect() const {
+  std::vector<std::shared_ptr<Buffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = buffers_;
+  }
+  std::vector<CompletedSpan> out;
+  for (const auto& b : bufs) {
+    const std::uint64_t h = b->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = b->slots.size();
+    const std::uint64_t n = h < cap ? h : cap;
+    // Stack-match B/E in push order; a B whose slot was overwritten leaves
+    // its E orphaned — both orphan kinds (E with an empty stack, B still
+    // open at the end) are dropped so exported pairs always balance.
+    std::vector<Buffer::Event> open;
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Buffer::Event& ev =
+          b->slots[static_cast<std::size_t>(i % cap)];
+      if (ev.begin) {
+        open.push_back(ev);
+        continue;
+      }
+      if (open.empty()) continue;
+      const Buffer::Event begin_ev = open.back();
+      open.pop_back();
+      CompletedSpan s;
+      s.name = ev.name;
+      // The closing event carries the final epoch (set_epoch may have
+      // re-labelled a reader span after its pin resolved).
+      s.epoch = ev.epoch;
+      s.tid = b->tid;
+      s.start_ns = begin_ev.ts_ns;
+      s.end_ns = ev.ts_ns;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+void Tracer::export_chrome_trace(std::ostream& os) const {
+  std::vector<std::shared_ptr<Buffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = buffers_;
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"grb\"}}";
+  char line[256];
+  for (const auto& b : bufs) {
+    const std::uint64_t h = b->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = b->slots.size();
+    const std::uint64_t n = h < cap ? h : cap;
+    const std::uint64_t first = h - n;
+    // Pass 1: stack-match events in ring order; remember, per event index,
+    // whether it survives (orphans from wraparound are skipped) and the
+    // final epoch its pair carries.
+    struct Resolved {
+      bool keep = false;
+      std::uint64_t epoch = 0;
+    };
+    std::vector<Resolved> resolved(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> open;  // indices (relative to `first`) of Bs
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Buffer::Event& ev =
+          b->slots[static_cast<std::size_t>((first + i) % cap)];
+      if (ev.begin) {
+        open.push_back(i);
+        continue;
+      }
+      if (open.empty()) continue;  // wraparound orphan E
+      const std::uint64_t bi = open.back();
+      open.pop_back();
+      resolved[static_cast<std::size_t>(bi)] = {true, ev.epoch};
+      resolved[static_cast<std::size_t>(i)] = {true, ev.epoch};
+    }
+    // Pass 2: emit surviving events in original order — per-thread ring
+    // order is time order, so nesting and ts-monotonicity are preserved.
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!resolved[static_cast<std::size_t>(i)].keep) continue;
+      const Buffer::Event& ev =
+          b->slots[static_cast<std::size_t>((first + i) % cap)];
+      std::snprintf(line, sizeof line,
+                    ",\n{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":1,"
+                    "\"tid\":%u,\"ts\":%.3f,\"args\":{\"epoch\":%llu}}",
+                    ev.name, ev.begin ? 'B' : 'E', b->tid,
+                    static_cast<double>(ev.ts_ns) / 1000.0,
+                    static_cast<unsigned long long>(
+                        resolved[static_cast<std::size_t>(i)].epoch));
+      os << line;
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::export_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_chrome_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : buffers_) {
+    b->head.store(0, std::memory_order_release);
+  }
+}
+
+// --- SpanScope ---------------------------------------------------------------
+
+SpanScope::SpanScope(const char* name, std::uint64_t epoch,
+                     Histogram* hist_us, Histogram* also_us) noexcept
+    : name_(name), epoch_(epoch), hist_(hist_us), also_(also_us) {
+  const TelemetryMode m = mode();
+  timed_ = m != TelemetryMode::kOff;
+  traced_ = m == TelemetryMode::kTracing;
+  if (!timed_) return;
+  Tracer& t = Tracer::instance();
+  start_ns_ = t.now_ns();
+  if (traced_) t.record(name_, epoch_, /*begin=*/true, start_ns_);
+}
+
+SpanScope::~SpanScope() {
+  if (!timed_) return;
+  Tracer& t = Tracer::instance();
+  const std::uint64_t end_ns = t.now_ns();
+  // The captured decision, not the current mode: a mid-span enable must not
+  // emit an E without its B.
+  if (traced_) t.record(name_, epoch_, /*begin=*/false, end_ns);
+  const std::uint64_t us = (end_ns - start_ns_) / 1000;
+  if (hist_ != nullptr) hist_->record(us);
+  if (also_ != nullptr) also_->record(us);
+}
+
+}  // namespace grbsm::telemetry

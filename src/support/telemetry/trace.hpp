@@ -1,0 +1,140 @@
+// Cross-thread epoch tracing: GRB_TRACE_SPAN scopes record B/E events into
+// per-thread lock-free ring buffers, correlated by epoch id across the
+// route -> shard apply -> publisher merge -> publish -> reader answer
+// lifecycle, and export as Chrome trace_event JSON (open chrome://tracing
+// or https://ui.perfetto.dev). See README "Architecture: observability".
+//
+// Cost model (why spans may sit on the ingestion path):
+//   kOff          one relaxed load per span — the overhead-gate baseline.
+//   kMetricsOnly  (default) + two steady_clock reads and one histogram
+//                 record: every span feeds its duration into a registry
+//                 histogram ("epoch.merge_us", ...) even when no trace file
+//                 was requested, so kMetrics always carries phase timings.
+//   kTracing      + two ring-buffer pushes; enabled by --trace=PATH.
+// Compiling with -DGRB_TELEMETRY_DISABLED turns GRB_TRACE_SPAN into a
+// no-op statement entirely.
+//
+// Threading: recording is owner-thread-only (a thread writes only its own
+// ring; registration of a new ring takes the tracer mutex once per thread).
+// collect()/export assume recording threads are quiescent — the daemon
+// exports after drain + join, the benches after their timed loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/telemetry/metrics.hpp"
+
+namespace grbsm::telemetry {
+
+enum class TelemetryMode : int {
+  kOff = 0,          ///< spans are no-ops (overhead-gate baseline)
+  kMetricsOnly = 1,  ///< spans time themselves into registry histograms
+  kTracing = 2,      ///< + events captured for Chrome-trace export
+};
+
+void set_mode(TelemetryMode m) noexcept;
+[[nodiscard]] TelemetryMode mode() noexcept;
+
+/// One matched span, as reconstructed from a thread's ring (tests and the
+/// per-phase aggregation read these; export re-emits them as B/E pairs).
+struct CompletedSpan {
+  std::string name;
+  std::uint64_t epoch = 0;
+  std::uint32_t tid = 0;  ///< tracer-assigned, dense from 1
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& instance();
+
+  /// Ring size (events) for threads that register after the call. A span is
+  /// two events; when a ring wraps, the oldest events are overwritten and
+  /// any half-overwritten span is dropped at export time.
+  void set_ring_capacity(std::size_t events) noexcept;
+
+  /// Matched spans from every ring (any thread order; spans of one thread
+  /// in completion order). Recording threads must be quiescent.
+  [[nodiscard]] std::vector<CompletedSpan> collect() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}; ts in microseconds).
+  /// B/E pairs are balanced by construction: orphans from ring wraparound
+  /// are dropped. Returns false when the file cannot be written.
+  void export_chrome_trace(std::ostream& os) const;
+  bool export_chrome_trace(const std::string& path) const;
+
+  /// Drops all recorded events (test isolation; threads quiescent).
+  void clear();
+
+  // Internal: called by SpanScope on the owning thread.
+  void record(const char* name, std::uint64_t epoch, bool begin,
+              std::uint64_t ts_ns);
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+ private:
+  Tracer();
+  struct Buffer;
+  Buffer& local_buffer();
+
+  std::uint64_t base_ns_ = 0;  ///< steady_clock origin for span timestamps
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::atomic<std::size_t> ring_capacity_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span. Prefer the GRB_TRACE_SPAN macro; use the class directly when
+/// the histogram must be chosen at runtime (per-shard timings) or the epoch
+/// is only known mid-scope (reader pins).
+class SpanScope {
+ public:
+  /// `hist_us` (and optionally `also_us`) receive the span duration in
+  /// microseconds under kMetricsOnly and kTracing; either may be null.
+  SpanScope(const char* name, std::uint64_t epoch, Histogram* hist_us,
+            Histogram* also_us = nullptr) noexcept;
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Re-labels the span's epoch before it closes (the exported pair carries
+  /// the final value — reader spans learn their epoch only after pinning).
+  void set_epoch(std::uint64_t e) noexcept { epoch_ = e; }
+
+ private:
+  const char* name_;
+  std::uint64_t epoch_;
+  std::uint64_t start_ns_ = 0;
+  Histogram* hist_;
+  Histogram* also_;
+  bool timed_;
+  bool traced_;
+};
+
+}  // namespace grbsm::telemetry
+
+#if defined(GRB_TELEMETRY_DISABLED)
+#define GRB_TRACE_SPAN(name, epoch) \
+  do {                              \
+  } while (false)
+#else
+#define GRB_TELEM_CAT2(a, b) a##b
+#define GRB_TELEM_CAT(a, b) GRB_TELEM_CAT2(a, b)
+/// Scoped span named `name` (a string literal), tagged with `epoch` and
+/// timed into the registry histogram "epoch.<name>_us". Trace epoch ids use
+/// the published 1-based numbering (snapshot k = change set k; 0 = initial
+/// evaluation), so one id correlates a change set across every stage.
+#define GRB_TRACE_SPAN(name, epoch)                                       \
+  static ::grbsm::telemetry::Histogram& GRB_TELEM_CAT(                    \
+      grb_trace_hist_, __LINE__) =                                        \
+      ::grbsm::telemetry::Registry::instance().histogram(                 \
+          std::string("epoch.") + (name) + "_us");                        \
+  ::grbsm::telemetry::SpanScope GRB_TELEM_CAT(grb_trace_span_, __LINE__)( \
+      (name), (epoch), &GRB_TELEM_CAT(grb_trace_hist_, __LINE__))
+#endif

@@ -9,6 +9,10 @@
 //   grb_daemon --socket=/tmp/grb.sock --sf=2 --shards=4 --depth=4
 //   grb_daemon --stdio --sf=1 < requests.bin > responses.bin
 //
+// --trace=PATH arms epoch tracing and writes a Chrome trace_event JSON
+// (openable in Perfetto; validated by tools/lint_invariants.py
+// --check-trace) when the daemon exits through its orderly path.
+//
 // Exits 0 after an orderly kShutdown (every promised epoch published), 2 on
 // a bad command line, 1 when the transport cannot be set up.
 #include <csignal>
@@ -19,6 +23,7 @@
 #include "datagen/generator.hpp"
 #include "grb/context.hpp"
 #include "support/flags.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace {
 
@@ -27,7 +32,7 @@ void usage() {
       stderr,
       "usage: grb_daemon (--socket=PATH | --stdio) [--sf=N] [--seed=N]\n"
       "                  [--shards=N] [--depth=N] [--retain=N]\n"
-      "                  [--query-wait-ms=N]\n");
+      "                  [--query-wait-ms=N] [--trace=PATH]\n");
 }
 
 }  // namespace
@@ -48,6 +53,7 @@ int main(int argc, char** argv) {
   cfg.retain = static_cast<std::size_t>(flags.get_int("retain", 64));
   cfg.query_wait =
       std::chrono::milliseconds(flags.get_int("query-wait-ms", 5000));
+  const std::string trace_path = flags.get("trace", "");
   flags.reject_unqueried("grb_daemon");
 
   if (stdio == !socket_path.empty()) {
@@ -67,27 +73,43 @@ int main(int argc, char** argv) {
   // grb-pipelined-* tool configuration the answers are verified against.
   grb::set_threads(1);
 
-  grbd::Server server(cfg);
-  {
-    const datagen::Dataset ds =
-        datagen::generate(datagen::params_for_scale(sf, seed));
-    server.load(ds.initial);
+  if (!trace_path.empty()) {
+    grbsm::telemetry::set_mode(grbsm::telemetry::TelemetryMode::kTracing);
   }
-  std::fprintf(stderr,
-               "grb_daemon: ready (sf=%u seed=%llu shards=%zu depth=%zu "
-               "retain=%zu)\n",
-               sf, static_cast<unsigned long long>(seed), cfg.shards,
-               cfg.depth, cfg.retain);
 
-  if (stdio) {
-    server.serve_connection(0, 1);
-    server.request_shutdown();
-    server.drain();
-    return 0;
+  int rc = 0;
+  {
+    grbd::Server server(cfg);
+    {
+      const datagen::Dataset ds =
+          datagen::generate(datagen::params_for_scale(sf, seed));
+      server.load(ds.initial);
+    }
+    std::fprintf(stderr,
+                 "grb_daemon: ready (sf=%u seed=%llu shards=%zu depth=%zu "
+                 "retain=%zu)\n",
+                 sf, static_cast<unsigned long long>(seed), cfg.shards,
+                 cfg.depth, cfg.retain);
+
+    if (stdio) {
+      server.serve_connection(0, 1);
+      server.request_shutdown();
+      server.drain();
+    } else if (server.serve_unix(socket_path) != 0) {
+      std::perror("grb_daemon: serve_unix");
+      rc = 1;
+    }
+  }  // ~Server joins the writer and every connection thread — the rings are
+     // quiescent, so the export below sees complete spans only.
+  if (!trace_path.empty()) {
+    if (grbsm::telemetry::Tracer::instance().export_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "grb_daemon: trace written to %s\n",
+                   trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "grb_daemon: cannot write trace to %s\n",
+                   trace_path.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
   }
-  if (server.serve_unix(socket_path) != 0) {
-    std::perror("grb_daemon: serve_unix");
-    return 1;
-  }
-  return 0;
+  return rc;
 }

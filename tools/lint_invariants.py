@@ -39,13 +39,23 @@ A line may opt out of one rule with a trailing `lint:allow(<rule-id>)`
 marker (inside a comment), mirroring clang-tidy's NOLINT. Use sparingly and
 say why next to it.
 
+`--check-trace PATH` validates a Chrome trace_event JSON written by the
+telemetry tracer (grb_daemon/load_gen/fig5 --trace=PATH): well-formed JSON,
+required fields on every event, balanced B/E nesting per (pid, tid),
+non-decreasing timestamps per tid, every published epoch (id >= 1; 0 is the
+initial evaluation) observed in at least 3 distinct pipeline stages, and at
+least one epoch covering the full route/apply/merge/publish lifecycle. The
+daemon-smoke CI lane runs it over a live daemon's trace.
+
 Exit status: 0 clean, 1 violations found (printed as file:line: [rule] ...),
 2 usage error. `--self-test` seeds one violation per rule in a temp tree and
-asserts the scanner catches each (and that a clean tree passes) — this runs
-as the ctest case lint.invariants_selftest.
+asserts the scanner catches each (and that a clean tree passes), then feeds
+the trace checker known-good and known-broken traces — this runs as the
+ctest case lint.invariants_selftest.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -180,6 +190,188 @@ def scan(root):
     return violations
 
 
+# --- Chrome-trace validation -------------------------------------------------
+
+# The daemon-side stages one published epoch must flow through; "answer" and
+# "client.read" additionally appear for epochs that were read.
+FULL_LIFECYCLE = ("route", "apply", "merge", "publish")
+MIN_STAGES_PER_EPOCH = 3
+
+
+def check_trace_events(events):
+    """Validates a parsed traceEvents list. Returns a list of error strings
+    (empty = valid)."""
+    errors = []
+    stacks = {}  # (pid, tid) -> list of begin-event names
+    last_ts = {}  # tid -> last seen ts
+    epoch_stages = {}  # epoch id -> set of span names
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            continue  # metadata (process_name etc.): no further shape rules
+        if ph not in ("B", "E"):
+            errors.append(f"event {i}: unexpected ph {ph!r}")
+            continue
+        missing = [k for k in ("name", "pid", "tid", "ts") if k not in ev]
+        if missing:
+            errors.append(f"event {i}: missing fields {missing}")
+            continue
+        tid = ev["tid"]
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if tid in last_ts and ts < last_ts[tid]:
+            errors.append(
+                f"event {i}: ts {ts} goes backwards on tid {tid} "
+                f"(previous {last_ts[tid]})"
+            )
+        last_ts[tid] = ts
+        stack = stacks.setdefault((ev["pid"], tid), [])
+        if ph == "B":
+            stack.append(ev["name"])
+        else:
+            if not stack:
+                errors.append(
+                    f"event {i}: E {ev['name']!r} with no open B on "
+                    f"tid {tid}"
+                )
+                continue
+            opened = stack.pop()
+            if opened != ev["name"]:
+                errors.append(
+                    f"event {i}: E {ev['name']!r} closes B {opened!r} on "
+                    f"tid {tid}"
+                )
+            epoch = ev.get("args", {}).get("epoch")
+            if isinstance(epoch, int):
+                epoch_stages.setdefault(epoch, set()).add(ev["name"])
+    for (pid, tid), stack in sorted(stacks.items()):
+        if stack:
+            errors.append(
+                f"tid {tid} (pid {pid}): {len(stack)} unclosed B event(s): "
+                f"{stack}"
+            )
+    # Epoch coverage: ids are the published 1-based snapshot numbering;
+    # epoch 0 (the initial evaluation / unanswered reads) is exempt.
+    published = {e: s for e, s in epoch_stages.items() if e >= 1}
+    if not published:
+        errors.append(
+            "no spans tagged with a published epoch (id >= 1) — tracing was "
+            "not armed, or the daemon saw no writes"
+        )
+    for epoch in sorted(published):
+        stages = published[epoch]
+        if len(stages) < MIN_STAGES_PER_EPOCH:
+            errors.append(
+                f"epoch {epoch}: only {sorted(stages)} — every published "
+                f"epoch must appear in >= {MIN_STAGES_PER_EPOCH} stages"
+            )
+    if published and not any(
+        set(FULL_LIFECYCLE) <= s for s in published.values()
+    ):
+        errors.append(
+            "no epoch covers the full lifecycle "
+            f"{'/'.join(FULL_LIFECYCLE)}"
+        )
+    return errors
+
+
+def check_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"{path}: [trace] malformed JSON: {e}")
+        return 1
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        events = None
+    if not isinstance(events, list):
+        print(f"{path}: [trace] expected a traceEvents array")
+        return 1
+    errors = check_trace_events(events)
+    for e in errors:
+        print(f"{path}: [trace] {e}")
+    if errors:
+        print(f"\n{len(errors)} trace violation(s).", file=sys.stderr)
+        return 1
+    n_epochs = len(
+        {
+            ev["args"]["epoch"]
+            for ev in events
+            if isinstance(ev, dict)
+            and isinstance(ev.get("args", {}).get("epoch"), int)
+            and ev["args"]["epoch"] >= 1
+        }
+    )
+    print(
+        f"lint_invariants: trace ok ({len(events)} events, "
+        f"{n_epochs} published epoch(s))"
+    )
+    return 0
+
+
+def trace_self_test():
+    """Feeds the trace checker a known-good trace and one broken variant per
+    rule; returns a list of failure strings."""
+
+    def span(name, epoch, tid, ts, dur):
+        args = {"epoch": epoch}
+        return [
+            {"name": name, "ph": "B", "pid": 1, "tid": tid, "ts": ts,
+             "args": args},
+            {"name": name, "ph": "E", "pid": 1, "tid": tid, "ts": ts + dur,
+             "args": args},
+        ]
+
+    good = (
+        [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+          "args": {"name": "grb_daemon"}}]
+        + span("route", 1, 1, 0.0, 5.0)
+        + span("apply", 1, 2, 6.0, 20.0)
+        + span("merge", 1, 1, 30.0, 10.0)
+        + span("publish", 1, 1, 41.0, 2.0)
+        + span("answer", 1, 3, 50.0, 3.0)
+    )
+    unbalanced = good + [
+        {"name": "merge", "ph": "E", "pid": 1, "tid": 1, "ts": 99.0,
+         "args": {"epoch": 1}}
+    ]
+    # Epoch 2 only ever routes + merges: fewer than MIN_STAGES_PER_EPOCH.
+    thin_epoch = good + span("route", 2, 1, 60.0, 5.0) + span(
+        "merge", 2, 1, 70.0, 5.0
+    )
+    backwards = good + span("route", 1, 1, -50.0, 5.0)
+    no_epochs = [ev for ev in good if ev.get("args", {}).get("epoch") != 1]
+
+    cases = [
+        ("valid trace", good, True),
+        ("unbalanced E", unbalanced, False),
+        ("epoch below stage floor", thin_epoch, False),
+        ("backwards ts", backwards, False),
+        ("no published epochs", no_epochs, False),
+    ]
+    failures = []
+    for what, events, expect_ok in cases:
+        errors = check_trace_events(events)
+        if bool(errors) == expect_ok:
+            failures.append(
+                f"trace checker: {what}: expected "
+                f"{'pass' if expect_ok else 'fail'}, got {errors or 'pass'}"
+            )
+    return failures
+
+
 def self_test():
     """Seeds one violation per rule in a temp tree; the scanner must flag
     each, and a clean tree must pass."""
@@ -263,13 +455,15 @@ def self_test():
         os.makedirs(os.path.join(tmp, "src"))
         if scan(tmp):
             failures.append("clean tree reported violations")
+    failures.extend(trace_self_test())
     if failures:
         print("lint_invariants self-test FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
     print("lint_invariants self-test passed "
-          f"({len(RULES)} rules, seeded violations all caught)")
+          f"({len(RULES)} rules, seeded violations all caught; trace "
+          "checker verified)")
     return 0
 
 
@@ -282,10 +476,15 @@ def main(argv):
     parser.add_argument("--self-test", action="store_true",
                         help="seed violations in a temp tree and assert the "
                              "scanner catches them")
+    parser.add_argument("--check-trace", metavar="PATH",
+                        help="validate a Chrome trace_event JSON written by "
+                             "--trace=PATH instead of scanning sources")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return self_test()
+    if args.check_trace:
+        return check_trace(args.check_trace)
 
     if not os.path.isdir(args.root):
         print(f"error: no such directory: {args.root}", file=sys.stderr)

@@ -7,7 +7,16 @@
 //   * N reader connections issue kQuery requests concurrently — a Zipf-
 //     distributed mix of "latest" reads and epoch-pinned reads trailing the
 //     newest epoch each reader has observed, with a configurable Q1/Q2 mix —
-//     and record per-request round-trip latencies (p50/p99).
+//     and record per-request round-trip latencies into telemetry histograms
+//     (bounded memory regardless of --reads; p50/p99/p999 by bucket
+//     interpolation).
+//
+// Around the run the writer connection polls the daemon's kMetrics frame
+// (one coherent registry snapshot) and reports the *delta* attributable to
+// this load: prune.* counters and the server-side epoch.*_us phase
+// histograms. --trace=PATH additionally arms client-side tracing: every
+// read becomes a "client.read" span tagged with the epoch it was answered
+// from, exported as Chrome trace_event JSON at exit.
 //
 // With --verify, every kAnswer (readers' and the final pinned read of the
 // last epoch) is compared byte-for-byte against the serial oracle
@@ -21,14 +30,15 @@
 #include <sys/un.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -37,6 +47,8 @@
 #include "harness/runner.hpp"
 #include "support/flags.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -48,6 +60,7 @@ using grbd::PayloadWriter;
 using grbsm::support::Timer;
 using grbsm::support::Xoshiro256;
 using grbsm::support::ZipfSampler;
+namespace telemetry = grbsm::telemetry;
 
 /// Connects to the daemon's socket, retrying until `timeout` passes (the
 /// daemon may still be loading when CI launches us).
@@ -105,7 +118,9 @@ Oracle compute_oracle(const datagen::Dataset& ds) {
 }
 
 struct ReaderStats {
-  std::vector<std::int64_t> latencies_ns;
+  /// Round-trip latency in microseconds; merged across readers at the end.
+  /// Log-bucketed, so memory stays constant no matter how many reads run.
+  telemetry::Histogram latency_us;
   std::uint64_t reads = 0;
   std::uint64_t evicted = 0;
   std::uint64_t not_ready = 0;
@@ -152,9 +167,14 @@ void reader_main(const ReaderParams& p, ReaderStats& out) {
       PayloadWriter req;
       req.u8(which);
       req.u64(pin);
+      // Under --trace the span shows up in the exported timeline next to the
+      // daemon's server-side spans; epoch 0 (re-labelled below) marks reads
+      // that errored or hit the initial evaluation.
+      telemetry::SpanScope span("client.read", 0, nullptr);
       const Timer t;
       const Frame resp = call(fd, MsgType::kQuery, req.data());
-      out.latencies_ns.push_back(t.elapsed_ns());
+      out.latency_us.record(
+          static_cast<std::uint64_t>(t.elapsed_ns()) / 1000);
       out.reads++;
       if (resp.type == MsgType::kError) {
         PayloadReader in(resp.payload);
@@ -169,6 +189,7 @@ void reader_main(const ReaderParams& p, ReaderStats& out) {
       PayloadReader in(resp.payload);
       const std::uint64_t epoch = in.u64();
       const std::string answer = in.rest();
+      span.set_epoch(epoch);
       if (epoch > seen_max) seen_max = epoch;
       if (p.oracle != nullptr) {
         const std::vector<std::string>& ref =
@@ -190,11 +211,45 @@ void reader_main(const ReaderParams& p, ReaderStats& out) {
   ::close(fd);
 }
 
-double percentile_ms(std::vector<std::int64_t>& sorted_ns, double p) {
-  if (sorted_ns.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted_ns.size() - 1) + 0.5);
-  return static_cast<double>(sorted_ns[idx]) * 1e-6;
+/// One kMetrics poll: a coherent server-side registry snapshot, or
+/// ok=false when the daemon predates the frame or the payload is mangled
+/// (metrics are informational — a dead daemon already failed the run).
+struct ServerMetrics {
+  telemetry::RegistrySnapshot snap;
+  bool ok = false;
+};
+
+ServerMetrics fetch_metrics(int fd) {
+  ServerMetrics m;
+  try {
+    const Frame resp = call(fd, MsgType::kMetrics, {});
+    if (resp.type == MsgType::kMetricsOk) {
+      m.snap =
+          telemetry::parse_snapshot(resp.payload.data(), resp.payload.size());
+      m.ok = true;
+    }
+  } catch (const std::runtime_error&) {
+    // ProtocolError or a parse failure: leave ok=false.
+  }
+  return m;
+}
+
+std::uint64_t counter_delta(const ServerMetrics& after,
+                            const ServerMetrics& before,
+                            std::string_view name) {
+  const std::uint64_t a = after.snap.value_or(name, 0);
+  const std::uint64_t b = before.ok ? before.snap.value_or(name, 0) : 0;
+  return a >= b ? a - b : a;  // daemon restarted between polls
+}
+
+telemetry::HistogramSnapshot histogram_delta(const ServerMetrics& after,
+                                             const ServerMetrics& before,
+                                             std::string_view name) {
+  const telemetry::HistogramSnapshot* a = after.snap.histogram(name);
+  if (a == nullptr) return {};
+  const telemetry::HistogramSnapshot* b =
+      before.ok ? before.snap.histogram(name) : nullptr;
+  return b != nullptr ? a->delta_since(*b) : *a;
 }
 
 void usage() {
@@ -203,7 +258,8 @@ void usage() {
       "usage: load_gen --socket=PATH [--sf=N] [--seed=N] [--readers=N]\n"
       "                [--reads=N] [--q1-frac=F] [--pinned-frac=F]\n"
       "                [--zipf=ALPHA] [--verify] [--shutdown] [--json]\n"
-      "                [--gate-p99-ms=F] [--gate-min-cs-per-s=F]\n");
+      "                [--gate-p99-ms=F] [--gate-min-cs-per-s=F]\n"
+      "                [--trace=PATH]\n");
 }
 
 }  // namespace
@@ -225,10 +281,15 @@ int main(int argc, char** argv) {
   const bool json = flags.get_bool("json", false);
   const double gate_p99_ms = flags.get_double("gate-p99-ms", 0.0);
   const double gate_cs_per_s = flags.get_double("gate-min-cs-per-s", 0.0);
+  const std::string trace_path = flags.get("trace", "");
   flags.reject_unqueried("load_gen");
   if (socket_path.empty()) {
     usage();
     return 2;
+  }
+
+  if (!trace_path.empty()) {
+    telemetry::set_mode(telemetry::TelemetryMode::kTracing);
   }
 
   const datagen::Dataset ds =
@@ -265,6 +326,10 @@ int main(int argc, char** argv) {
     for (std::thread& t : reader_threads) t.join();
     return 1;
   }
+  // Metrics baseline before the stream starts, so the report below shows
+  // only what *this* load contributed even against a long-lived daemon.
+  const ServerMetrics metrics_before = fetch_metrics(wfd);
+
   std::uint64_t last_epoch = 0;
   bool write_failed = false;
   const Timer write_timer;
@@ -314,29 +379,30 @@ int main(int argc, char** argv) {
 
   for (std::thread& t : reader_threads) t.join();
 
-  // Pruning activity under the concurrent load: the daemon's kStats frame
-  // carries the writer-side top-k prune counters (see daemon/protocol.hpp).
+  // Server-side activity under the concurrent load, as kMetrics deltas
+  // against the pre-stream baseline: the prune counter family (coherent by
+  // the registry's batch seqlock, so scanned + skipped == total holds) and
+  // the epoch.*_us phase histograms fed by the daemon's trace spans.
+  const ServerMetrics metrics_after = fetch_metrics(wfd);
   struct PruneReport {
     std::uint64_t blocks_total = 0, blocks_scanned = 0, blocks_skipped = 0;
     std::uint64_t pool_hits = 0, pool_rebuilds = 0, bound_rebuilds = 0;
     bool ok = false;
   } prune;
-  try {
-    const Frame resp = call(wfd, MsgType::kStats, {});
-    if (resp.type == MsgType::kStatsOk) {
-      PayloadReader in(resp.payload);
-      for (int skip = 0; skip < 5; ++skip) (void)in.u64();
-      prune.blocks_total = in.u64();
-      prune.blocks_scanned = in.u64();
-      prune.blocks_skipped = in.u64();
-      prune.pool_hits = in.u64();
-      prune.pool_rebuilds = in.u64();
-      prune.bound_rebuilds = in.u64();
-      in.expect_done();
-      prune.ok = true;
-    }
-  } catch (const grbd::ProtocolError&) {
-    // Stats are informational; an unreachable daemon already failed above.
+  if (metrics_after.ok) {
+    prune.blocks_total =
+        counter_delta(metrics_after, metrics_before, "prune.blocks_total");
+    prune.blocks_scanned =
+        counter_delta(metrics_after, metrics_before, "prune.blocks_scanned");
+    prune.blocks_skipped =
+        counter_delta(metrics_after, metrics_before, "prune.blocks_skipped");
+    prune.pool_hits =
+        counter_delta(metrics_after, metrics_before, "prune.pool_hits");
+    prune.pool_rebuilds =
+        counter_delta(metrics_after, metrics_before, "prune.pool_rebuilds");
+    prune.bound_rebuilds =
+        counter_delta(metrics_after, metrics_before, "prune.bound_rebuilds");
+    prune.ok = true;
   }
 
   if (shutdown) {
@@ -348,11 +414,12 @@ int main(int argc, char** argv) {
   }
   ::close(wfd);
 
-  // Aggregate.
-  std::vector<std::int64_t> lat;
+  // Aggregate: histogram snapshots merge associatively, so the combined
+  // percentiles are exactly what one shared histogram would have reported.
+  telemetry::HistogramSnapshot lat;
   std::uint64_t total_reads = 0, evicted = 0, not_ready = 0, mismatches = 0;
   for (const ReaderStats& s : stats) {
-    lat.insert(lat.end(), s.latencies_ns.begin(), s.latencies_ns.end());
+    lat += s.latency_us.snapshot();
     total_reads += s.reads;
     evicted += s.evicted;
     not_ready += s.not_ready;
@@ -363,9 +430,9 @@ int main(int argc, char** argv) {
     }
   }
   mismatches += final_mismatches;
-  std::sort(lat.begin(), lat.end());
-  const double p50 = percentile_ms(lat, 0.50);
-  const double p99 = percentile_ms(lat, 0.99);
+  const double p50 = lat.p50() * 1e-3;  // histogram unit is us
+  const double p99 = lat.p99() * 1e-3;
+  const double p999 = lat.p999() * 1e-3;
   const double cs_per_s =
       write_s > 0.0 ? static_cast<double>(ds.changes.size()) / write_s : 0.0;
 
@@ -376,9 +443,9 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(last_epoch));
   std::fprintf(stderr,
                "load_gen: %llu reads across %zu readers: p50=%.3f ms "
-               "p99=%.3f ms, %llu evicted, %llu not-ready\n",
+               "p99=%.3f ms p999=%.3f ms, %llu evicted, %llu not-ready\n",
                static_cast<unsigned long long>(total_reads), readers, p50,
-               p99, static_cast<unsigned long long>(evicted),
+               p99, p999, static_cast<unsigned long long>(evicted),
                static_cast<unsigned long long>(not_ready));
   if (verify) {
     std::fprintf(stderr, "load_gen: %llu answer mismatches vs the oracle\n",
@@ -394,18 +461,56 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(prune.pool_rebuilds),
                  static_cast<unsigned long long>(prune.bound_rebuilds));
   }
+
+  // Server-side per-phase breakdown (delta over this run). The names match
+  // the daemon's GRB_TRACE_SPAN sites; absent phases print nothing.
+  struct Phase {
+    const char* key;    // JSON key / short label
+    const char* metric; // registry histogram name
+    telemetry::HistogramSnapshot d;
+  };
+  std::vector<Phase> phases = {
+      {"route", "epoch.route_us", {}},     {"apply", "epoch.apply_us", {}},
+      {"merge", "epoch.merge_us", {}},     {"publish", "epoch.publish_us", {}},
+      {"answer", "epoch.answer_us", {}},
+  };
+  if (metrics_after.ok) {
+    for (Phase& ph : phases) {
+      ph.d = histogram_delta(metrics_after, metrics_before, ph.metric);
+    }
+    std::fprintf(stderr, "load_gen: server phases (us, this run):");
+    for (const Phase& ph : phases) {
+      if (ph.d.count() == 0) continue;
+      std::fprintf(stderr, " %s p50=%.0f p99=%.0f n=%llu", ph.key,
+                   ph.d.p50(), ph.d.p99(),
+                   static_cast<unsigned long long>(ph.d.count()));
+    }
+    std::fprintf(stderr, "\n");
+  }
   if (json) {
+    std::string server_json;
+    for (const Phase& ph : phases) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s\"%s_us\": {\"n\": %llu, \"p50\": %.1f, "
+                    "\"p99\": %.1f}",
+                    server_json.empty() ? "" : ", ", ph.key,
+                    static_cast<unsigned long long>(ph.d.count()), ph.d.p50(),
+                    ph.d.p99());
+      server_json += buf;
+    }
     std::printf(
         "{\"sf\": %u, \"change_sets\": %zu, \"cs_per_s\": %.3f, "
         "\"reads\": %llu, \"readers\": %zu, \"p50_ms\": %.3f, "
-        "\"p99_ms\": %.3f, \"evicted\": %llu, \"not_ready\": %llu, "
-        "\"verified\": %s, \"mismatches\": %llu, "
+        "\"p99_ms\": %.3f, \"p999_ms\": %.3f, \"evicted\": %llu, "
+        "\"not_ready\": %llu, \"verified\": %s, \"mismatches\": %llu, "
         "\"prune\": {\"blocks_total\": %llu, \"blocks_scanned\": %llu, "
         "\"blocks_skipped\": %llu, \"pool_hits\": %llu, "
-        "\"pool_rebuilds\": %llu, \"bound_rebuilds\": %llu}}\n",
+        "\"pool_rebuilds\": %llu, \"bound_rebuilds\": %llu}, "
+        "\"server\": {%s}}\n",
         sf, ds.changes.size(), cs_per_s,
         static_cast<unsigned long long>(total_reads), readers, p50, p99,
-        static_cast<unsigned long long>(evicted),
+        p999, static_cast<unsigned long long>(evicted),
         static_cast<unsigned long long>(not_ready),
         verify ? "true" : "false",
         static_cast<unsigned long long>(mismatches),
@@ -414,7 +519,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(prune.blocks_skipped),
         static_cast<unsigned long long>(prune.pool_hits),
         static_cast<unsigned long long>(prune.pool_rebuilds),
-        static_cast<unsigned long long>(prune.bound_rebuilds));
+        static_cast<unsigned long long>(prune.bound_rebuilds),
+        server_json.c_str());
   }
 
   bool ok = !write_failed && mismatches == 0;
@@ -427,6 +533,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "load_gen: GATE FAIL %.1f cs/s < %.1f cs/s\n",
                  cs_per_s, gate_cs_per_s);
     ok = false;
+  }
+  // Reader threads are joined and the writer fd is closed — the span rings
+  // are quiescent, so the export sees complete client.read spans only.
+  if (!trace_path.empty()) {
+    if (telemetry::Tracer::instance().export_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "load_gen: trace written to %s\n",
+                   trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "load_gen: cannot write trace to %s\n",
+                   trace_path.c_str());
+      ok = false;
+    }
   }
   std::fprintf(stderr, "load_gen: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
